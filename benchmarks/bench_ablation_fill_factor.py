@@ -1,0 +1,63 @@
+"""Ablation: Coconut-Tree leaf fill factor (Sec. 4.3).
+
+The paper notes the fill factor "can be controlled by the user": full
+leaves minimize space and sequential traversal length; half-full
+leaves leave room for future inserts at the cost of more leaves.
+"""
+
+import numpy as np
+
+from repro.bench import DatasetSpec, PAGE_SIZE, default_config, print_experiment
+from repro.core import CoconutTree
+from repro.series import random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+
+SPEC = DatasetSpec("randomwalk", n_series=8_000, length=128, seed=7)
+FILL_FACTORS = [0.5, 0.75, 1.0]
+
+
+def fill_rows():
+    rows = []
+    data = SPEC.generate()
+    for fill in FILL_FACTORS:
+        disk = SimulatedDisk(page_size=PAGE_SIZE)
+        raw = RawSeriesFile.create(disk, data)
+        disk.reset_stats()
+        index = CoconutTree(
+            disk,
+            memory_bytes=SPEC.raw_bytes,
+            config=default_config(SPEC.length),
+            leaf_size=100,
+            fill_factor=fill,
+        )
+        report = index.build(raw)
+        batch = random_walk(800, length=SPEC.length, seed=99)
+        update = index.insert_batch(batch)
+        rows.append(
+            {
+                "fill_factor": fill,
+                "n_leaves": report.n_leaves,
+                "index_MB": report.index_bytes / 1e6,
+                "build_s": report.total_cost_s,
+                "insert_s": update.total_cost_s,
+                "leaves_after_insert": index.leaf_stats()[0],
+            }
+        )
+    return rows
+
+
+def bench_ablation_fill_factor(benchmark):
+    rows = benchmark.pedantic(fill_rows, rounds=1, iterations=1)
+    print_experiment("Ablation — Coconut-Tree fill factor", rows)
+    by_fill = {r["fill_factor"]: r for r in rows}
+    # Fuller leaves -> fewer leaves and a smaller index.
+    assert by_fill[1.0]["n_leaves"] < by_fill[0.5]["n_leaves"]
+    assert by_fill[1.0]["index_MB"] <= by_fill[0.5]["index_MB"]
+    # Slack absorbs inserts: half-full trees split less on update.
+    grown_full = (
+        by_fill[1.0]["leaves_after_insert"] - by_fill[1.0]["n_leaves"]
+    )
+    grown_half = (
+        by_fill[0.5]["leaves_after_insert"] - by_fill[0.5]["n_leaves"]
+    )
+    assert grown_half <= grown_full

@@ -1,0 +1,75 @@
+"""Ablation: LSM-style updates (the paper's future work, implemented).
+
+The paper's conclusion proposes LSM trees for efficient updates.  This
+bench replays the Fig. 10a mixed workload with Coconut-LSM against
+Coconut-Tree's in-place leaf merging: the LSM variant should absorb
+fine-grained batches far more cheaply (sequential run flushes instead
+of per-leaf read-modify-writes), at a modest query penalty from
+probing multiple runs.
+"""
+
+import numpy as np
+
+from repro.bench import DatasetSpec, PAGE_SIZE, default_config, print_experiment
+from repro.core import CoconutLSM, CoconutTree
+from repro.series import random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+
+SPEC = DatasetSpec("randomwalk", n_series=6_000, length=128, seed=7)
+BATCH_SIZES = [25, 200]
+N_BATCHES = 12
+N_QUERIES = 8
+
+
+def run_one(kind: str, batch_size: int) -> dict:
+    disk = SimulatedDisk(page_size=PAGE_SIZE)
+    data = SPEC.generate()
+    raw = RawSeriesFile.create(disk, data)
+    disk.reset_stats()
+    memory = max(4096, SPEC.raw_bytes // 100)
+    config = default_config(SPEC.length)
+    if kind == "Coconut-LSM":
+        index = CoconutLSM(disk, memory, config=config)
+    else:
+        index = CoconutTree(disk, memory, config=config, leaf_size=100)
+    build = index.build(raw)
+    insert_s = 0.0
+    for b in range(N_BATCHES):
+        batch = random_walk(batch_size, length=SPEC.length, seed=100 + b)
+        insert_s += index.insert_batch(batch).total_cost_s
+    query_s = 0.0
+    for query in SPEC.queries(N_QUERIES):
+        query_s += index.exact_search(query).total_cost_s
+    return {
+        "index": kind,
+        "batch_size": batch_size,
+        "build_s": build.total_cost_s,
+        "insert_s": insert_s,
+        "query_s": query_s,
+        "total_s": build.total_cost_s + insert_s + query_s,
+    }
+
+
+def workload_rows():
+    rows = []
+    for batch_size in BATCH_SIZES:
+        for kind in ("Coconut-LSM", "Coconut-Tree"):
+            rows.append(run_one(kind, batch_size))
+    return rows
+
+
+def bench_ablation_lsm_updates(benchmark):
+    rows = benchmark.pedantic(workload_rows, rounds=1, iterations=1)
+    print_experiment("Ablation — LSM updates (paper future work)", rows)
+    cost = {(r["index"], r["batch_size"]): r for r in rows}
+    for batch_size in BATCH_SIZES:
+        lsm = cost[("Coconut-LSM", batch_size)]
+        tree = cost[("Coconut-Tree", batch_size)]
+        # LSM absorbs inserts far more cheaply ...
+        assert lsm["insert_s"] < tree["insert_s"]
+    # ... and for fine-grained batches it wins the whole workload.
+    smallest = BATCH_SIZES[0]
+    assert (
+        cost[("Coconut-LSM", smallest)]["total_s"]
+        < cost[("Coconut-Tree", smallest)]["total_s"]
+    )

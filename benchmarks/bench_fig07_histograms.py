@@ -1,0 +1,62 @@
+"""Fig. 7: value histograms of the three datasets.
+
+The paper shows that random-walk and seismology values are nearly
+identically distributed (close to Gaussian) while astronomy values are
+slightly skewed.  This bench regenerates the histogram series and
+checks those properties.
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.bench import print_experiment
+from repro.series import make_dataset
+
+BINS = np.linspace(-5.0, 5.0, 21)
+
+
+def histogram_rows(n_series=2000, length=256, seed=7):
+    rows = []
+    summary = {}
+    for name in ("randomwalk", "seismic", "astronomy"):
+        data = make_dataset(name, n_series, length=length, seed=seed)
+        values = data.ravel().astype(np.float64)
+        density, _ = np.histogram(values, bins=BINS, density=True)
+        summary[name] = {
+            "dataset": name,
+            "mean": float(values.mean()),
+            "std": float(values.std()),
+            "skew": float(stats.skew(values)),
+            "kurtosis": float(stats.kurtosis(values)),
+            "p01": float(np.quantile(values, 0.01)),
+            "p99": float(np.quantile(values, 0.99)),
+        }
+        for low, high, d in zip(BINS[:-1], BINS[1:], density):
+            rows.append(
+                {
+                    "dataset": name,
+                    "bin": f"[{low:+.1f},{high:+.1f})",
+                    "density": float(d),
+                }
+            )
+    return rows, list(summary.values())
+
+
+def bench_fig07_value_histograms(benchmark):
+    rows, summary = benchmark.pedantic(
+        histogram_rows, rounds=1, iterations=1
+    )
+    print_experiment("Fig. 7 — dataset value summary", summary)
+    print_experiment(
+        "Fig. 7 — value histograms (density per bin)",
+        [r for r in rows if abs(float(r["bin"][1:5])) <= 2.6],
+    )
+    by_name = {s["dataset"]: s for s in summary}
+    # Paper shape: randomwalk and seismic near-symmetric, astronomy skewed.
+    assert abs(by_name["randomwalk"]["skew"]) < 0.25
+    assert abs(by_name["astronomy"]["skew"]) > abs(by_name["randomwalk"]["skew"])
+    assert abs(by_name["astronomy"]["skew"]) > 0.2
+    # All three are z-normalized.
+    for s in summary:
+        assert abs(s["mean"]) < 0.05
+        assert abs(s["std"] - 1.0) < 0.05

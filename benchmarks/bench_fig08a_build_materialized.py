@@ -1,0 +1,43 @@
+"""Fig. 8a: materialized index construction vs. memory budget.
+
+Paper shape: Coconut-Tree-Full is fastest and degrades gently as
+memory shrinks; ADSFull degrades sharply (random leaf flushes);
+R-tree and DSTree perform poorly throughout.
+"""
+
+from repro.bench import (
+    DatasetSpec,
+    MATERIALIZED_GROUP,
+    print_experiment,
+    run_build_sweep,
+)
+
+SPEC = DatasetSpec("randomwalk", n_series=8000, length=128, seed=7)
+MEMORY_FRACTIONS = [1.0, 0.2, 0.05]
+
+
+def bench_fig08a_build_materialized(benchmark):
+    rows = benchmark.pedantic(
+        run_build_sweep,
+        args=(MATERIALIZED_GROUP, SPEC, MEMORY_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 8a — materialized construction vs memory", rows)
+    cost = {
+        (r["index"], r["memory_frac"]): r["total_s"] for r in rows
+    }
+    tight = MEMORY_FRACTIONS[-1]
+    ample = MEMORY_FRACTIONS[0]
+    # Coconut-Tree-Full beats ADSFull, R-tree and DSTree when memory
+    # is scarce (the paper's headline, order-of-magnitude for ADSFull).
+    assert cost[("CTreeFull", tight)] < cost[("ADSFull", tight)]
+    assert cost[("CTreeFull", tight)] < cost[("R-tree", tight)]
+    assert cost[("CTreeFull", tight)] < cost[("DSTree", tight)]
+    assert cost[("ADSFull", tight)] / cost[("CTreeFull", tight)] > 4
+    # ADSFull degrades with shrinking memory much more than CTreeFull.
+    ads_degradation = cost[("ADSFull", tight)] / cost[("ADSFull", ample)]
+    ctree_degradation = cost[("CTreeFull", tight)] / cost[("CTreeFull", ample)]
+    assert ads_degradation > ctree_degradation * 0.8
+    # DSTree is the slowest one-at-a-time inserter with ample memory.
+    assert cost[("DSTree", ample)] > cost[("CTreeFull", ample)]

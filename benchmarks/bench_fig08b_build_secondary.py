@@ -1,0 +1,42 @@
+"""Fig. 8b: non-materialized index construction vs. memory budget.
+
+Paper shape: with ample memory ADS+ and Coconut-Tree are comparable
+(summaries fit in memory, sorting is cheap); with restricted memory
+Coconut-Tree wins because ADS+ leaf splits cause small random I/Os.
+Coconut-Trie pays extra for node compaction; R-tree+ mirrors R-tree.
+"""
+
+from repro.bench import (
+    DatasetSpec,
+    SECONDARY_GROUP,
+    print_experiment,
+    run_build_sweep,
+)
+
+SPEC = DatasetSpec("randomwalk", n_series=10_000, length=128, seed=7)
+MEMORY_FRACTIONS = [1.0, 0.05, 0.01]
+
+
+def bench_fig08b_build_secondary(benchmark):
+    rows = benchmark.pedantic(
+        run_build_sweep,
+        args=(SECONDARY_GROUP, SPEC, MEMORY_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 8b — secondary construction vs memory", rows)
+    cost = {(r["index"], r["memory_frac"]): r["total_s"] for r in rows}
+    tight = MEMORY_FRACTIONS[-1]
+    ample = MEMORY_FRACTIONS[0]
+    # With ample memory the two leaders are within ~2x of each other.
+    assert cost[("CTree", ample)] < 2.0 * cost[("ADS+", ample)]
+    # With restricted memory Coconut-Tree clearly wins (paper: 8.2 vs
+    # 13.4 min; here the simulated gap is larger because the buffering
+    # regime is harsher at scaled-down absolute memory).
+    assert cost[("CTree", tight)] < cost[("ADS+", tight)]
+    assert cost[("ADS+", tight)] / cost[("CTree", tight)] > 2
+    # The ADS+ degradation slope exceeds Coconut-Tree's.
+    assert (
+        cost[("ADS+", tight)] / cost[("ADS+", ample)]
+        > cost[("CTree", tight)] / cost[("CTree", ample)]
+    )

@@ -1,0 +1,30 @@
+"""Fig. 8d: materialized construction vs. dataset size, fixed memory.
+
+Paper shape: with data small relative to memory, Coconut-Tree-Full and
+ADSFull are comparable; as data grows past memory, ADSFull's random
+I/Os dominate and Coconut-Tree-Full pulls ahead.
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_scaling_sweep
+
+SPEC = DatasetSpec("randomwalk", n_series=12_000, length=128, seed=7)
+SIZES = [1_000, 4_000, 12_000]
+MEMORY_BYTES = 1_000 * 128 * 4 * 2  # fits the smallest dataset twice
+
+
+def bench_fig08d_scaling_materialized(benchmark):
+    rows = benchmark.pedantic(
+        run_scaling_sweep,
+        args=(["CTreeFull", "ADSFull"], SPEC, SIZES, MEMORY_BYTES),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 8d — materialized construction vs data size", rows)
+    cost = {(r["index"], r["n_series"]): r["total_s"] for r in rows}
+    # Small data (fits in memory): the two are within a modest factor.
+    assert cost[("ADSFull", SIZES[0])] < 20 * cost[("CTreeFull", SIZES[0])]
+    # Large data: Coconut wins and the gap grows with scale.
+    assert cost[("CTreeFull", SIZES[-1])] < cost[("ADSFull", SIZES[-1])]
+    gap_small = cost[("ADSFull", SIZES[0])] / cost[("CTreeFull", SIZES[0])]
+    gap_large = cost[("ADSFull", SIZES[-1])] / cost[("CTreeFull", SIZES[-1])]
+    assert gap_large > gap_small

@@ -1,0 +1,32 @@
+"""Fig. 8e: non-materialized construction vs. dataset size, fixed memory.
+
+Paper shape: Coconut-Tree's sort is over summaries only (tiny), so its
+cost stays near a clean scan of the data; ADS+ splits and buffer
+evictions add random I/O that grows with the data size.
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_scaling_sweep
+
+SPEC = DatasetSpec("randomwalk", n_series=16_000, length=128, seed=7)
+SIZES = [2_000, 8_000, 16_000]
+MEMORY_BYTES = 2_000 * 128 * 4 // 4  # a quarter of the smallest dataset
+
+
+def bench_fig08e_scaling_secondary(benchmark):
+    rows = benchmark.pedantic(
+        run_scaling_sweep,
+        args=(["CTree", "ADS+"], SPEC, SIZES, MEMORY_BYTES),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 8e — secondary construction vs data size", rows)
+    cost = {(r["index"], r["n_series"]): r["total_s"] for r in rows}
+    assert cost[("CTree", SIZES[-1])] < cost[("ADS+", SIZES[-1])]
+    gap_small = cost[("ADS+", SIZES[0])] / cost[("CTree", SIZES[0])]
+    gap_large = cost[("ADS+", SIZES[-1])] / cost[("CTree", SIZES[-1])]
+    assert gap_large > gap_small
+    # Coconut-Tree construction scales near-linearly (sequential passes).
+    ctree_ratio = cost[("CTree", SIZES[-1])] / max(
+        cost[("CTree", SIZES[0])], 1e-9
+    )
+    assert ctree_ratio < (SIZES[-1] / SIZES[0]) * 3

@@ -1,0 +1,30 @@
+"""Fig. 8f: indexing collections of variable-length data series.
+
+Paper shape: for every series length, the Coconut-Tree variants beat
+the corresponding ADS variants under limited memory.
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_length_sweep
+
+BASE = DatasetSpec("randomwalk", n_series=4_000, length=128, seed=7)
+LENGTHS = [64, 128, 256]
+MEMORY_FRACTION = 0.02
+
+
+def bench_fig08f_series_length(benchmark):
+    rows = benchmark.pedantic(
+        run_length_sweep,
+        args=(
+            ["CTree", "ADS+", "CTreeFull", "ADSFull"],
+            BASE,
+            LENGTHS,
+            MEMORY_FRACTION,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 8f — construction vs series length", rows)
+    cost = {(r["index"], r["length"]): r["total_s"] for r in rows}
+    for length in LENGTHS:
+        assert cost[("CTree", length)] < cost[("ADS+", length)]
+        assert cost[("CTreeFull", length)] < cost[("ADSFull", length)]

@@ -1,0 +1,37 @@
+"""Fig. 9a: exact query answering vs. dataset size.
+
+Paper shape: the Coconut-Tree family is fastest for exact search at
+every size because the index is contiguous and compact and the
+approximate seed is better (more pruning).
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_query_experiment
+
+BASE = DatasetSpec("randomwalk", n_series=10_000, length=128, seed=7)
+SIZES = [2_000, 5_000, 10_000]
+INDEXES = ["CTree", "CTreeFull", "ADS+", "ADSFull", "R-tree", "R-tree+"]
+N_QUERIES = 20
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        rows.extend(
+            run_query_experiment(
+                INDEXES, BASE.scaled(n), N_QUERIES, mode="exact"
+            )
+        )
+    return rows
+
+
+def bench_fig09a_exact_query_scaling(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_experiment("Fig. 9a — exact query cost vs data size", rows)
+    cost = {(r["index"], r["n_series"]): r["avg_total_s"] for r in rows}
+    largest = SIZES[-1]
+    # Coconut variants beat the matching ADS variants at scale.
+    assert cost[("CTree", largest)] < cost[("ADS+", largest)]
+    assert cost[("CTreeFull", largest)] < cost[("ADSFull", largest)]
+    # And beat the R-trees.
+    assert cost[("CTree", largest)] < cost[("R-tree+", largest)]
+    assert cost[("CTreeFull", largest)] < cost[("R-tree", largest)]

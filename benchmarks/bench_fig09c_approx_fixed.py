@@ -1,0 +1,36 @@
+"""Fig. 9c: approximate query answering at a fixed dataset size.
+
+The paper's 40 GB point, scaled down.  Paper shape: the Coconut family
+answers approximate queries fastest; the ADS family pays adaptive
+materialization and scattered leaves.
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_query_experiment
+
+SPEC = DatasetSpec("randomwalk", n_series=12_000, length=128, seed=7)
+INDEXES = ["CTree", "CTreeFull", "ADS+", "ADSFull", "R-tree", "R-tree+"]
+N_QUERIES = 40
+
+
+def bench_fig09c_approximate_fixed_size(benchmark):
+    rows = benchmark.pedantic(
+        run_query_experiment,
+        args=(INDEXES, SPEC, N_QUERIES),
+        kwargs={"mode": "approximate"},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 9c — approximate query cost (fixed size)", rows)
+    cost = {r["index"]: r["avg_total_s"] for r in rows}
+    # Secondary regime: Coconut-Tree beats ADS+ (which pays adaptive
+    # materialization on first leaf visits) and R-tree+.
+    assert cost["CTree"] < cost["ADS+"]
+    assert cost["CTree"] < cost["R-tree+"]
+    # Materialized regime: a single-leaf read for both leaders; at this
+    # scale both cost one seek, so they are statistically tied (the
+    # paper's larger gap needs leaves spanning many pages).
+    assert cost["CTreeFull"] < cost["ADSFull"] * 1.15
+    # Materialized approximate search beats the secondary variant
+    # (no raw-file hop), as in the paper.
+    assert cost["CTreeFull"] < cost["CTree"]
+    assert cost["ADSFull"] < cost["ADS+"]

@@ -1,0 +1,78 @@
+"""Fig. 9d: quality of approximate answers (average Euclidean distance).
+
+Paper shape: the Coconut family returns better (smaller-distance)
+approximate answers than ADSFull; widening the radius improves them
+further — CTree(1) beat ADSFull on 69% of queries, CTree(10) on 94%.
+"""
+
+import numpy as np
+
+from repro.bench import DatasetSpec, make_environment, print_experiment
+
+SPEC = DatasetSpec("randomwalk", n_series=10_000, length=128, seed=7)
+N_QUERIES = 50
+MEMORY_FRACTION = 0.25
+
+
+def quality_rows():
+    memory = max(4096, int(SPEC.raw_bytes * MEMORY_FRACTION))
+    queries = SPEC.queries(N_QUERIES)
+
+    ctree_env = make_environment("CTreeFull", SPEC, memory)
+    ctree_env.index.build(ctree_env.raw)
+    ads_env = make_environment("ADSFull", SPEC, memory)
+    ads_env.index.build(ads_env.raw)
+
+    ctree_1 = [
+        ctree_env.index.approximate_search(q, radius_leaves=1).distance
+        for q in queries
+    ]
+    ctree_10 = [
+        ctree_env.index.approximate_search(q, radius_leaves=10).distance
+        for q in queries
+    ]
+    ads = [ads_env.index.approximate_search(q).distance for q in queries]
+
+    rows = [
+        {"method": "ADSFull", "avg_distance": float(np.mean(ads))},
+        {
+            "method": "CTree(1)",
+            "avg_distance": float(np.mean(ctree_1)),
+            "beats_ADSFull_%": 100.0
+            * float(np.mean([c <= a for c, a in zip(ctree_1, ads)])),
+        },
+        {
+            "method": "CTree(10)",
+            "avg_distance": float(np.mean(ctree_10)),
+            "beats_ADSFull_%": 100.0
+            * float(np.mean([c <= a for c, a in zip(ctree_10, ads)])),
+        },
+    ]
+    return rows
+
+
+def bench_fig09d_approximate_quality(benchmark):
+    rows = benchmark.pedantic(quality_rows, rounds=1, iterations=1)
+    print_experiment(
+        "Fig. 9d — approximate answer quality",
+        rows,
+        columns=["method", "avg_distance", "beats_ADSFull_%"],
+    )
+    by_method = {r["method"]: r for r in rows}
+    # Wider radius only improves quality.
+    assert (
+        by_method["CTree(10)"]["avg_distance"]
+        <= by_method["CTree(1)"]["avg_distance"] + 1e-9
+    )
+    # Coconut answers are better than ADSFull on average ...
+    assert (
+        by_method["CTree(10)"]["avg_distance"]
+        < by_method["ADSFull"]["avg_distance"]
+    )
+    # ... and beat it on most queries (paper: 69% / 94%).
+    assert by_method["CTree(1)"]["beats_ADSFull_%"] >= 50.0
+    assert by_method["CTree(10)"]["beats_ADSFull_%"] >= 75.0
+    assert (
+        by_method["CTree(10)"]["beats_ADSFull_%"]
+        >= by_method["CTree(1)"]["beats_ADSFull_%"]
+    )

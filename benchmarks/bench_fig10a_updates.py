@@ -1,0 +1,31 @@
+"""Fig. 10a: mixed insert/query workload vs. update batch size.
+
+Paper shape: with highly fragmented (tiny) batches the ADS family
+behaves better; as batches grow, Coconut-Tree wins because its bulk
+merge performs fewer splits per inserted series.
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_update_workload
+
+SPEC = DatasetSpec("randomwalk", n_series=8_000, length=128, seed=7)
+BATCH_SIZES = [50, 500, 4_000]
+INDEXES = ["CTree", "ADS+"]
+
+
+def bench_fig10a_mixed_updates(benchmark):
+    rows = benchmark.pedantic(
+        run_update_workload,
+        args=(INDEXES, SPEC, BATCH_SIZES),
+        kwargs={"n_queries": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 10a — mixed insert/query workload", rows)
+    cost = {(r["index"], r["batch_size"]): r["total_s"] for r in rows}
+    # Coconut-Tree wins with large batches.
+    assert cost[("CTree", BATCH_SIZES[-1])] < cost[("ADS+", BATCH_SIZES[-1])]
+    # The Coconut/ADS cost ratio improves monotonically with batch size.
+    ratios = [
+        cost[("CTree", b)] / cost[("ADS+", b)] for b in BATCH_SIZES
+    ]
+    assert ratios[-1] < ratios[0]

@@ -1,0 +1,33 @@
+"""Fig. 10b: complete workload (construction + 100 exact queries)
+on the astronomy dataset, for several memory configurations.
+
+Paper shape: with constrained memory Coconut-Tree wins in both the
+materialized and non-materialized regimes; the skewed, denser data
+makes pruning less effective than on random walks for every index.
+"""
+
+from repro.bench import DatasetSpec, print_experiment, run_complete_workload
+
+SPEC = DatasetSpec("astronomy", n_series=8_000, length=128, seed=11)
+MEMORY_FRACTIONS = [0.5, 0.02]
+INDEXES = ["CTree", "ADS+", "CTreeFull", "ADSFull"]
+N_QUERIES = 15
+
+
+def bench_fig10b_astronomy_complete(benchmark):
+    rows = benchmark.pedantic(
+        run_complete_workload,
+        args=(INDEXES, SPEC, N_QUERIES, MEMORY_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment("Fig. 10b — astronomy complete workload", rows)
+    cost = {(r["index"], r["memory_frac"]): r["total_s"] for r in rows}
+    tight = MEMORY_FRACTIONS[-1]
+    assert cost[("CTree", tight)] < cost[("ADS+", tight)]
+    assert cost[("CTreeFull", tight)] < cost[("ADSFull", tight)]
+    size = {(r["index"], r["memory_frac"]): r["index_MB"] for r in rows}
+    # Index size ordering as reported in Sec. 5.3 (CTree smallest
+    # secondary, ADSFull largest materialized).
+    assert size[("CTree", tight)] < size[("ADS+", tight)]
+    assert size[("CTreeFull", tight)] < size[("ADSFull", tight)]

@@ -1,0 +1,66 @@
+"""Astronomy pipeline: the paper's Fig. 10b experiment in miniature.
+
+Run with:  python examples/astronomy_pipeline.py
+
+Indexes a collection of light-curve-like series under a *restricted*
+memory budget and compares the complete workload (construction + exact
+queries) of Coconut-Tree against the previous state of the art (ADS+),
+reproducing the paper's headline: bottom-up bulk loading wins when the
+data outgrows main memory.
+"""
+
+from repro import ADSIndex, CoconutTree, RawSeriesFile, SAXConfig, SimulatedDisk
+from repro.series import astronomy, query_workload
+
+N_SERIES = 15_000
+LENGTH = 128
+MEMORY_FRACTION = 0.02
+N_QUERIES = 10
+
+
+def run(index_cls_name: str) -> None:
+    data = astronomy(N_SERIES, length=LENGTH, seed=11)
+    queries = query_workload("astronomy", N_QUERIES, length=LENGTH, seed=11)
+    memory = int(data.nbytes * MEMORY_FRACTION)
+
+    disk = SimulatedDisk()
+    raw = RawSeriesFile.create(disk, data)
+    disk.reset_stats()
+    config = SAXConfig(series_length=LENGTH, word_length=8, cardinality=256)
+    if index_cls_name == "Coconut-Tree":
+        index = CoconutTree(disk, memory, config=config, leaf_size=100)
+    else:
+        index = ADSIndex(disk, memory, config=config, leaf_size=100)
+
+    build = index.build(raw)
+    query_cost = 0.0
+    worst = 0
+    for query in queries:
+        result = index.exact_search(query)
+        query_cost += result.total_cost_s
+        worst = max(worst, result.visited_records)
+    print(
+        f"{index.name:12s}  build {build.total_cost_s:7.2f} s   "
+        f"queries {query_cost:7.2f} s   total "
+        f"{build.total_cost_s + query_cost:7.2f} s   "
+        f"index {build.index_bytes / 1e6:5.1f} MB   "
+        f"max visited {worst}"
+    )
+
+
+def main() -> None:
+    print(
+        f"{N_SERIES} light curves of length {LENGTH}, memory = "
+        f"{MEMORY_FRACTION:.0%} of data, {N_QUERIES} exact queries\n"
+    )
+    run("Coconut-Tree")
+    run("ADS+")
+    print(
+        "\nThe skewed, dense astronomy data makes pruning harder for "
+        "every index (paper Sec. 5.3), but bottom-up bulk loading keeps "
+        "Coconut-Tree's construction I/O sequential and cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Coconut: a scalable bottom-up approach for building data series indexes.
+
+A from-scratch Python reproduction of Kondylakis, Dayan, Zoumpatianos
+and Palpanas (PVLDB 11(6), 2018), including every substrate and
+baseline the paper evaluates against.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CoconutTree, RawSeriesFile, SimulatedDisk, random_walk
+
+    disk = SimulatedDisk()
+    data = random_walk(10_000, length=256, seed=0)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutTree(disk, memory_bytes=1 << 22)
+    index.build(raw)
+    result = index.exact_search(random_walk(1, length=256, seed=1)[0])
+    print(result.answer_idx, result.distance)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured reproduction results.
+"""
+
+from .core import (
+    CoconutTree,
+    CoconutTrie,
+    deinterleave_keys,
+    interleave_words,
+    invsax_keys,
+    query_key,
+    sims_scan,
+)
+from .indexes import (
+    ADSIndex,
+    BuildReport,
+    DSTree,
+    ISAX2Index,
+    QueryResult,
+    RTreeIndex,
+    SerialScan,
+    SeriesIndex,
+    VerticalIndex,
+)
+from .series import (
+    astronomy,
+    dtw,
+    euclidean,
+    make_dataset,
+    query_workload,
+    random_walk,
+    seismic,
+    sliding_windows,
+    z_normalize,
+)
+from .storage import (
+    BufferPool,
+    CostModel,
+    DiskStats,
+    ExternalSorter,
+    PagedFile,
+    RawSeriesFile,
+    SimulatedDisk,
+)
+from .summaries import SAXConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADSIndex",
+    "BufferPool",
+    "BuildReport",
+    "CoconutTree",
+    "CoconutTrie",
+    "CostModel",
+    "DSTree",
+    "DiskStats",
+    "ExternalSorter",
+    "ISAX2Index",
+    "PagedFile",
+    "QueryResult",
+    "RTreeIndex",
+    "RawSeriesFile",
+    "SAXConfig",
+    "SerialScan",
+    "SeriesIndex",
+    "SimulatedDisk",
+    "VerticalIndex",
+    "astronomy",
+    "deinterleave_keys",
+    "dtw",
+    "euclidean",
+    "interleave_words",
+    "invsax_keys",
+    "make_dataset",
+    "query_key",
+    "query_workload",
+    "random_walk",
+    "seismic",
+    "sims_scan",
+    "sliding_windows",
+    "z_normalize",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Command-line experiment runner: ``python -m repro.bench``.
+
+Runs one of the paper's experiments at an adjustable scale without
+going through pytest — handy for exploring parameter regimes beyond
+the calibrated benchmark defaults.
+
+Examples::
+
+    python -m repro.bench build --group secondary --n 20000
+    python -m repro.bench build --group materialized --memory 1.0 0.1
+    python -m repro.bench query --mode exact --dataset seismic
+    python -m repro.bench space --n 15000
+    python -m repro.bench updates --batches 100 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .harness import (
+    MATERIALIZED_GROUP,
+    SECONDARY_GROUP,
+    run_build_sweep,
+    run_query_experiment,
+    run_update_workload,
+)
+from .report import print_experiment
+from .workloads import DatasetSpec
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="randomwalk",
+        choices=["randomwalk", "seismic", "astronomy"],
+    )
+    parser.add_argument("--n", type=int, default=10_000, help="series count")
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _spec(args: argparse.Namespace) -> DatasetSpec:
+    return DatasetSpec(args.dataset, args.n, args.length, args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run Coconut reproduction experiments from the shell.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="construction vs memory sweep")
+    _add_dataset_arguments(build)
+    build.add_argument(
+        "--group", default="secondary", choices=["secondary", "materialized"]
+    )
+    build.add_argument(
+        "--memory", type=float, nargs="+", default=[1.0, 0.05, 0.01],
+        help="memory budgets as fractions of the dataset size",
+    )
+
+    query = commands.add_parser("query", help="query cost experiment")
+    _add_dataset_arguments(query)
+    query.add_argument("--mode", default="exact", choices=["exact", "approximate"])
+    query.add_argument("--queries", type=int, default=20)
+    query.add_argument(
+        "--indexes", nargs="+",
+        default=["CTree", "CTreeFull", "ADS+", "ADSFull"],
+    )
+
+    space = commands.add_parser("space", help="index size and fill factors")
+    _add_dataset_arguments(space)
+
+    updates = commands.add_parser("updates", help="mixed insert/query workload")
+    _add_dataset_arguments(updates)
+    updates.add_argument("--batches", type=int, nargs="+", default=[50, 500, 4000])
+    updates.add_argument("--queries", type=int, default=10)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = _spec(args)
+    if args.command == "build":
+        group = (
+            SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
+        )
+        rows = run_build_sweep(group, spec, args.memory)
+        print_experiment(f"construction sweep ({args.group})", rows)
+    elif args.command == "query":
+        rows = run_query_experiment(
+            args.indexes, spec, args.queries, mode=args.mode
+        )
+        print_experiment(f"{args.mode} query costs", rows)
+    elif args.command == "space":
+        rows = run_build_sweep(
+            MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25]
+        )
+        print_experiment(
+            "space overhead",
+            rows,
+            columns=["index", "index_MB", "n_leaves", "leaf_fill"],
+        )
+    elif args.command == "updates":
+        rows = run_update_workload(
+            ["CTree", "ADS+"], spec, args.batches, n_queries=args.queries
+        )
+        print_experiment("mixed insert/query workload", rows)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

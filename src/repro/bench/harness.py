@@ -1,0 +1,352 @@
+"""Experiment harness: uniform sweeps over indexes, memory and data.
+
+Every benchmark under ``benchmarks/`` is a thin wrapper around one of
+the ``run_*`` functions here, each of which regenerates the rows or
+series of one paper figure.  Costs are reported as:
+
+* ``sim_io_s`` — simulated I/O seconds in the disk access model (the
+  quantity the paper's analysis is stated in),
+* ``wall_s`` — Python CPU time (reported for transparency; absolute
+  values are not comparable to the paper's C implementation),
+* ``total_s`` — their sum, the closest analogue of the paper's y-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.coconut_tree import CoconutTree
+from ..core.coconut_trie import CoconutTrie
+from ..indexes.ads import ADSIndex
+from ..indexes.base import SeriesIndex
+from ..indexes.dstree import DSTree
+from ..indexes.isax2 import ISAX2Index
+from ..indexes.rtree import RTreeIndex
+from ..indexes.serial import SerialScan
+from ..indexes.vertical import VerticalIndex
+from ..storage.disk import SimulatedDisk
+from ..storage.seriesfile import RawSeriesFile
+from ..summaries.sax import SAXConfig
+from .workloads import DatasetSpec
+
+#: Page size used by all experiments (bytes).
+PAGE_SIZE = 8192
+
+#: Default leaf capacity (records); the paper used 2000 at full scale.
+LEAF_SIZE = 100
+
+
+def default_config(length: int) -> SAXConfig:
+    """The summarization shape used by all benchmark experiments.
+
+    The library default is the paper's 16 segments x 256 cardinality.
+    Benchmarks run at ~10^4 series instead of the paper's ~10^8, so we
+    scale the word length down to 8 segments: the iSAX root fans out on
+    one bit per segment (2^w children), and keeping w = 16 at small N
+    would give every series its own root child, exaggerating the
+    sparse-leaf effect far beyond the paper's reported ~10% fill.
+    """
+    word_length = 8 if length >= 16 else 4
+    return SAXConfig(
+        series_length=length, word_length=word_length, cardinality=256
+    )
+
+
+IndexFactory = Callable[[SimulatedDisk, int, int], SeriesIndex]
+
+
+def _factories() -> dict[str, IndexFactory]:
+    def ctree(disk, memory, length):
+        return CoconutTree(
+            disk, memory, config=default_config(length), leaf_size=LEAF_SIZE
+        )
+
+    def ctree_full(disk, memory, length):
+        return CoconutTree(
+            disk,
+            memory,
+            config=default_config(length),
+            leaf_size=LEAF_SIZE,
+            materialized=True,
+        )
+
+    def ctrie(disk, memory, length):
+        return CoconutTrie(
+            disk, memory, config=default_config(length), leaf_size=LEAF_SIZE
+        )
+
+    def ctrie_full(disk, memory, length):
+        return CoconutTrie(
+            disk,
+            memory,
+            config=default_config(length),
+            leaf_size=LEAF_SIZE,
+            materialized=True,
+        )
+
+    def ads_plus(disk, memory, length):
+        return ADSIndex(
+            disk, memory, config=default_config(length), leaf_size=LEAF_SIZE
+        )
+
+    def ads_full(disk, memory, length):
+        return ADSIndex(
+            disk,
+            memory,
+            config=default_config(length),
+            leaf_size=LEAF_SIZE,
+            plus=False,
+        )
+
+    def isax2(disk, memory, length):
+        return ISAX2Index(
+            disk, memory, config=default_config(length), leaf_size=LEAF_SIZE
+        )
+
+    def rtree(disk, memory, length):
+        return RTreeIndex(
+            disk, memory, n_dimensions=8, leaf_size=LEAF_SIZE,
+            materialized=True,
+        )
+
+    def rtree_plus(disk, memory, length):
+        return RTreeIndex(
+            disk, memory, n_dimensions=8, leaf_size=LEAF_SIZE,
+            materialized=False,
+        )
+
+    def dstree(disk, memory, length):
+        return DSTree(disk, memory, leaf_size=LEAF_SIZE)
+
+    def vertical(disk, memory, length):
+        return VerticalIndex(disk, memory)
+
+    def serial(disk, memory, length):
+        return SerialScan(disk, memory)
+
+    return {
+        "CTree": ctree,
+        "CTreeFull": ctree_full,
+        "CTrie": ctrie,
+        "CTrieFull": ctrie_full,
+        "ADS+": ads_plus,
+        "ADSFull": ads_full,
+        "iSAX2.0": isax2,
+        "R-tree": rtree,
+        "R-tree+": rtree_plus,
+        "DSTree": dstree,
+        "Vertical": vertical,
+        "Serial": serial,
+    }
+
+
+INDEX_FACTORIES = _factories()
+
+#: The two groups the paper's figures sweep (Fig. 8a vs 8b etc.).
+MATERIALIZED_GROUP = ["CTreeFull", "CTrieFull", "ADSFull", "R-tree", "Vertical", "DSTree"]
+SECONDARY_GROUP = ["CTree", "CTrie", "ADS+", "R-tree+"]
+
+
+@dataclass
+class Environment:
+    """A fresh disk + raw file + index, isolated per experiment cell."""
+
+    disk: SimulatedDisk
+    raw: RawSeriesFile
+    index: SeriesIndex
+
+
+def make_environment(
+    index_key: str, spec: DatasetSpec, memory_bytes: int
+) -> Environment:
+    """Generate the dataset, write the raw file, construct the index."""
+    disk = SimulatedDisk(page_size=PAGE_SIZE)
+    data = spec.generate()
+    raw = RawSeriesFile.create(disk, data)
+    disk.reset_stats()  # ingest of the raw file is not index cost
+    index = INDEX_FACTORIES[index_key](disk, memory_bytes, spec.length)
+    return Environment(disk=disk, raw=raw, index=index)
+
+
+def _build_row(index_key: str, memory_bytes: int, spec: DatasetSpec,
+               report) -> dict:
+    return {
+        "index": index_key,
+        "memory_frac": round(memory_bytes / spec.raw_bytes, 4),
+        "n_series": spec.n_series,
+        "length": spec.length,
+        "sim_io_s": report.simulated_io_ms / 1000.0,
+        "wall_s": report.wall_s,
+        "total_s": report.total_cost_s,
+        "index_MB": report.index_bytes / 1e6,
+        "n_leaves": report.n_leaves,
+        "leaf_fill": report.avg_leaf_fill,
+        "rand_io": report.io.random_reads + report.io.random_writes,
+        "seq_io": report.io.sequential_reads + report.io.sequential_writes,
+    }
+
+
+def run_build_sweep(
+    index_keys: list[str],
+    spec: DatasetSpec,
+    memory_fractions: list[float],
+) -> list[dict]:
+    """Construction cost vs. memory budget (Figs. 8a/8b)."""
+    rows = []
+    for fraction in memory_fractions:
+        memory = max(4096, int(spec.raw_bytes * fraction))
+        for key in index_keys:
+            env = make_environment(key, spec, memory)
+            report = env.index.build(env.raw)
+            rows.append(_build_row(key, memory, spec, report))
+    return rows
+
+
+def run_scaling_sweep(
+    index_keys: list[str],
+    spec: DatasetSpec,
+    sizes: list[int],
+    memory_bytes: int,
+) -> list[dict]:
+    """Construction cost vs. dataset size at fixed memory (Figs. 8d/8e)."""
+    rows = []
+    for n in sizes:
+        scaled = spec.scaled(n)
+        for key in index_keys:
+            env = make_environment(key, scaled, memory_bytes)
+            report = env.index.build(env.raw)
+            rows.append(_build_row(key, memory_bytes, scaled, report))
+    return rows
+
+
+def run_length_sweep(
+    index_keys: list[str],
+    base: DatasetSpec,
+    lengths: list[int],
+    memory_fraction: float,
+) -> list[dict]:
+    """Construction cost vs. series length (Fig. 8f)."""
+    rows = []
+    for length in lengths:
+        spec = DatasetSpec(base.name, base.n_series, length, base.seed)
+        memory = max(4096, int(spec.raw_bytes * memory_fraction))
+        for key in index_keys:
+            env = make_environment(key, spec, memory)
+            report = env.index.build(env.raw)
+            rows.append(_build_row(key, memory, spec, report))
+    return rows
+
+
+def run_query_experiment(
+    index_keys: list[str],
+    spec: DatasetSpec,
+    n_queries: int,
+    memory_fraction: float = 0.25,
+    mode: str = "exact",
+) -> list[dict]:
+    """Average query cost and quality per index (Figs. 9a-9f)."""
+    queries = spec.queries(n_queries)
+    rows = []
+    memory = max(4096, int(spec.raw_bytes * memory_fraction))
+    for key in index_keys:
+        env = make_environment(key, spec, memory)
+        env.index.build(env.raw)
+        env.disk.reset_stats()
+        results = []
+        for query in queries:
+            if mode == "exact":
+                results.append(env.index.exact_search(query))
+            else:
+                results.append(env.index.approximate_search(query))
+        rows.append(
+            {
+                "index": key,
+                "n_series": spec.n_series,
+                "mode": mode,
+                "avg_sim_io_s": np.mean([r.simulated_io_ms for r in results]) / 1e3,
+                "avg_wall_s": np.mean([r.wall_s for r in results]),
+                "avg_total_s": np.mean([r.total_cost_s for r in results]),
+                "avg_distance": np.mean([r.distance for r in results]),
+                "avg_visited": np.mean([r.visited_records for r in results]),
+                "avg_pruned": np.mean([r.pruned_fraction for r in results]),
+            }
+        )
+    return rows
+
+
+def run_complete_workload(
+    index_keys: list[str],
+    spec: DatasetSpec,
+    n_queries: int,
+    memory_fractions: list[float],
+) -> list[dict]:
+    """Construction followed by exact queries (Figs. 10b/10c)."""
+    rows = []
+    queries = spec.queries(n_queries)
+    for fraction in memory_fractions:
+        memory = max(4096, int(spec.raw_bytes * fraction))
+        for key in index_keys:
+            env = make_environment(key, spec, memory)
+            build = env.index.build(env.raw)
+            query_results = [env.index.exact_search(q) for q in queries]
+            query_io = sum(r.simulated_io_ms for r in query_results) / 1e3
+            query_wall = sum(r.wall_s for r in query_results)
+            rows.append(
+                {
+                    "index": key,
+                    "dataset": spec.name,
+                    "memory_frac": round(fraction, 4),
+                    "build_s": build.total_cost_s,
+                    "query_s": query_io + query_wall,
+                    "total_s": build.total_cost_s + query_io + query_wall,
+                    "index_MB": build.index_bytes / 1e6,
+                }
+            )
+    return rows
+
+
+def run_update_workload(
+    index_keys: list[str],
+    spec: DatasetSpec,
+    batch_sizes: list[int],
+    n_queries: int = 20,
+    initial_fraction: float = 0.5,
+    memory_fraction: float = 0.002,
+) -> list[dict]:
+    """Interleaved inserts and exact queries vs. batch size (Fig. 10a)."""
+    from .workloads import mixed_workload
+
+    rows = []
+    memory = max(4096, int(spec.raw_bytes * memory_fraction))
+    for batch_size in batch_sizes:
+        for key in index_keys:
+            disk = SimulatedDisk(page_size=PAGE_SIZE)
+            initial, events = mixed_workload(
+                spec, initial_fraction, batch_size, n_queries
+            )
+            raw = RawSeriesFile.create(disk, initial)
+            disk.reset_stats()
+            index = INDEX_FACTORIES[key](disk, memory, spec.length)
+            build = index.build(raw)
+            insert_s = query_s = 0.0
+            for event in events:
+                if event.kind == "insert":
+                    report = index.insert_batch(event.payload)
+                    insert_s += report.total_cost_s
+                else:
+                    result = index.exact_search(event.payload)
+                    query_s += result.total_cost_s
+            rows.append(
+                {
+                    "index": key,
+                    "batch_size": batch_size,
+                    "build_s": build.total_cost_s,
+                    "insert_s": insert_s,
+                    "query_s": query_s,
+                    "total_s": build.total_cost_s + insert_s + query_s,
+                }
+            )
+    return rows

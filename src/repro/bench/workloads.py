@@ -1,0 +1,94 @@
+"""Workload generation for the evaluation experiments.
+
+The paper's workloads are "random": query series drawn fresh from the
+same source as the indexed data (Sec. 5), plus, for Fig. 10a, an
+interleaved schedule of insert batches and exact queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..series.generators import make_dataset, query_workload
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A reproducible dataset: generator name, size, length, seed."""
+
+    name: str = "randomwalk"
+    n_series: int = 10_000
+    length: int = 128
+    seed: int = 7
+
+    def generate(self) -> np.ndarray:
+        return make_dataset(
+            self.name, self.n_series, length=self.length, seed=self.seed
+        )
+
+    def queries(self, n_queries: int) -> np.ndarray:
+        return query_workload(
+            self.name, n_queries, length=self.length, seed=self.seed
+        )
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.n_series * self.length * 4
+
+    def scaled(self, n_series: int) -> "DatasetSpec":
+        return DatasetSpec(self.name, n_series, self.length, self.seed)
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One step of the mixed workload: a batch insert or a query."""
+
+    kind: str  # "insert" or "query"
+    payload: np.ndarray
+
+
+def mixed_workload(
+    spec: DatasetSpec,
+    initial_fraction: float,
+    batch_size: int,
+    n_queries: int,
+) -> tuple[np.ndarray, Iterator[UpdateEvent]]:
+    """The Fig. 10a schedule: initial bulk load, then batches + queries.
+
+    Returns the initial data plus an iterator of events that
+    interleaves insert batches with queries (2 queries per batch in
+    the paper; here spread evenly so exactly ``n_queries`` run).
+    """
+    if not 0.0 < initial_fraction < 1.0:
+        raise ValueError(
+            f"initial_fraction must be in (0, 1), got {initial_fraction}"
+        )
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    data = spec.generate()
+    n_initial = max(1, int(spec.n_series * initial_fraction))
+    initial = data[:n_initial]
+    rest = data[n_initial:]
+    queries = spec.queries(n_queries)
+    n_batches = max(1, -(-len(rest) // batch_size))
+    queries_per_batch = n_queries / n_batches
+
+    def events() -> Iterator[UpdateEvent]:
+        issued = 0.0
+        done = 0
+        for b in range(n_batches):
+            batch = rest[b * batch_size : (b + 1) * batch_size]
+            if len(batch):
+                yield UpdateEvent("insert", batch)
+            issued += queries_per_batch
+            while done < min(int(round(issued)), n_queries):
+                yield UpdateEvent("query", queries[done])
+                done += 1
+        while done < n_queries:
+            yield UpdateEvent("query", queries[done])
+            done += 1
+
+    return initial, events()

@@ -1,0 +1,593 @@
+"""Coconut-Tree: bottom-up bulk-loaded, balanced data series index.
+
+The paper's flagship index (Algorithm 3).  Series are summarized to
+sortable invSAX keys, externally sorted, and the leaf level is written
+in one sequential pass — the UB-tree bulk-loading recipe.  Because
+splitting is by rank (median) rather than by shared prefix, every leaf
+is packed to the configured fill factor, the tree is balanced, and the
+whole leaf level is physically contiguous: queries read neighboring
+leaves with streaming I/O instead of seeks.
+
+Two variants, as in the paper:
+
+* ``materialized=False`` — Coconut-Tree (CTree): leaves store (key,
+  offset) pairs pointing into the raw file (a secondary index).
+* ``materialized=True`` — Coconut-Tree-Full (CTreeFull): leaves store
+  the series themselves alongside the keys.
+
+Approximate search (Algorithm 4) visits the leaf where the query's key
+would reside plus a configurable radius of physically adjacent leaves.
+Exact search (Algorithm 5, CoconutTreeSIMS) scans in-memory
+summarizations aligned to the on-disk order and fetches unpruned
+records skip-sequentially.
+
+Batch insertion merges sorted batches into the leaf level (Fig. 10a):
+large batches amortize to near-bulk-load cost, tiny batches degrade
+toward per-leaf random I/O — the crossover the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
+from ..series.distance import euclidean_batch
+from ..storage.disk import SimulatedDisk
+from ..storage.external_sort import ExternalSorter
+from ..storage.pager import PagedFile
+from ..storage.seriesfile import RawSeriesFile
+from ..summaries.sax import SAXConfig, sax_words
+from .invsax import deinterleave_keys, interleave_words, query_key
+from .sims import sims_scan
+
+
+@dataclass
+class _Leaf:
+    """Directory entry for one leaf, kept in key order."""
+
+    slot: int  # physical leaf slot in the leaf file
+    count: int
+    first_key: bytes
+
+
+def _record_dtype(config: SAXConfig, length: int, materialized: bool) -> np.dtype:
+    fields = [("k", config.key_dtype), ("off", "<i8")]
+    if materialized:
+        fields.append(("series", "<f4", (length,)))
+    return np.dtype(fields)
+
+
+class CoconutTree(SeriesIndex):
+    """Balanced bulk-loaded index over sortable summarizations."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        memory_bytes: int,
+        config: SAXConfig | None = None,
+        leaf_size: int = 100,
+        fill_factor: float = 1.0,
+        materialized: bool = False,
+        default_radius: int = 1,
+        fanout: int = 32,
+    ):
+        super().__init__(disk, memory_bytes)
+        if not 0.5 <= fill_factor <= 1.0:
+            raise ValueError(
+                f"fill_factor must be in [0.5, 1.0], got {fill_factor}"
+            )
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self.config = config or SAXConfig()
+        self.leaf_size = leaf_size
+        self.fill_factor = fill_factor
+        self.is_materialized = materialized
+        self.default_radius = max(1, default_radius)
+        self.fanout = max(2, fanout)
+        self.name = "Coconut-Tree-Full" if materialized else "Coconut-Tree"
+        self._leaves: list[_Leaf] = []
+        self._first_keys: np.ndarray | None = None
+        self._leaf_words: list[np.ndarray] = []
+        self._leaf_offsets: list[np.ndarray] = []
+        self._summaries_loaded = False
+        self._summaries_dirty = False
+        self._flat_words: np.ndarray | None = None
+        self._flat_offsets: np.ndarray | None = None
+        self._flat_leaf_of: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def record_dtype(self) -> np.dtype:
+        raw = self._require_built() if self.built else self.raw
+        length = raw.length if raw is not None else self.config.series_length
+        return _record_dtype(self.config, length, self.is_materialized)
+
+    @property
+    def pages_per_leaf(self) -> int:
+        return max(
+            1,
+            -(-self.leaf_size * self.record_dtype.itemsize // self.disk.page_size),
+        )
+
+    @property
+    def target_leaf_records(self) -> int:
+        return max(1, int(self.leaf_size * self.fill_factor))
+
+    @property
+    def height(self) -> int:
+        """Levels above the leaves of the (balanced) directory."""
+        n = max(1, len(self._leaves))
+        return max(1, math.ceil(math.log(n, self.fanout))) if n > 1 else 1
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 3)
+    # ------------------------------------------------------------------
+    def build(self, raw: RawSeriesFile) -> BuildReport:
+        self.raw = raw
+        with Measurement(self.disk) as measure:
+            keys, payloads = self._summarize_scan(raw)
+            rec = _record_dtype(self.config, raw.length, self.is_materialized)
+            sorter = ExternalSorter(self.disk, self.memory_bytes)
+            n_leaves_estimate = max(
+                1, -(-raw.n_series // self.target_leaf_records)
+            )
+            self._leaf_file = PagedFile(self.disk, name=f"{self.name}-leaves")
+            self._leaf_file.grow(n_leaves_estimate * self.pages_per_leaf)
+            self._sidecar = PagedFile(self.disk, name=f"{self.name}-summaries")
+            self._record_itemsize = rec.itemsize
+            self._bulk_load(sorter.sort(keys, payloads), rec)
+            self._rebuild_directory()
+            self._write_sidecar()
+        self.built = True
+        n_leaves, fill = self.leaf_stats()
+        return BuildReport(
+            index_name=self.name,
+            n_series=raw.n_series,
+            wall_s=measure.wall_s,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            index_bytes=self.storage_bytes(),
+            n_leaves=n_leaves,
+            avg_leaf_fill=fill,
+            extra={"sort_runs": sorter.report.n_runs, "height": self.height},
+        )
+
+    def _summarize_scan(
+        self, raw: RawSeriesFile
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pass over the raw file: sortable keys plus record payloads."""
+        key_parts: list[np.ndarray] = []
+        payload_parts: list[np.ndarray] = []
+        pay_dtype = np.dtype(
+            [("off", "<i8"), ("series", "<f4", (raw.length,))]
+            if self.is_materialized
+            else [("off", "<i8")]
+        )
+        for start, block in raw.scan():
+            words = sax_words(block, self.config)
+            key_parts.append(interleave_words(words, self.config))
+            payload = np.zeros(len(block), dtype=pay_dtype)
+            payload["off"] = np.arange(start, start + len(block))
+            if self.is_materialized:
+                payload["series"] = block
+            payload_parts.append(payload)
+        if not key_parts:
+            return (
+                np.empty(0, dtype=self.config.key_dtype),
+                np.empty(0, dtype=pay_dtype),
+            )
+        return np.concatenate(key_parts), np.concatenate(payload_parts)
+
+    def _bulk_load(self, sorted_chunks, rec: np.dtype) -> None:
+        """Fill leaves to the target fill factor from the sorted stream."""
+        target = self.target_leaf_records
+        pending_keys: list[np.ndarray] = []
+        pending_payloads: list[np.ndarray] = []
+        pending = 0
+        for keys, payloads in sorted_chunks:
+            pending_keys.append(keys)
+            pending_payloads.append(payloads)
+            pending += len(keys)
+            while pending >= target:
+                keys_cat = np.concatenate(pending_keys)
+                pay_cat = np.concatenate(pending_payloads)
+                self._emit_leaf(keys_cat[:target], pay_cat[:target], rec)
+                pending_keys = [keys_cat[target:]]
+                pending_payloads = [pay_cat[target:]]
+                pending -= target
+        if pending:
+            self._emit_leaf(
+                np.concatenate(pending_keys),
+                np.concatenate(pending_payloads),
+                rec,
+            )
+
+    def _emit_leaf(
+        self, keys: np.ndarray, payloads: np.ndarray, rec: np.dtype
+    ) -> None:
+        slot = len(self._leaves)
+        needed = (slot + 1) * self.pages_per_leaf
+        if needed > self._leaf_file.n_pages:
+            self._leaf_file.grow(needed - self._leaf_file.n_pages)
+        records = np.zeros(len(keys), dtype=rec)
+        records["k"] = keys
+        records["off"] = payloads["off"]
+        if self.is_materialized:
+            records["series"] = payloads["series"]
+        self._write_leaf_records(slot, records)
+        first = bytes(keys[0]).ljust(self.config.key_bytes, b"\x00")
+        self._leaves.append(_Leaf(slot=slot, count=len(keys), first_key=first))
+        words = deinterleave_keys(keys, self.config)
+        self._leaf_words.append(words)
+        self._leaf_offsets.append(payloads["off"].astype(np.int64))
+
+    def _write_leaf_records(self, slot: int, records: np.ndarray) -> None:
+        self._leaf_file.write_stream(
+            records.tobytes(), at_page=slot * self.pages_per_leaf
+        )
+
+    def _read_leaf_records(self, leaf: _Leaf) -> np.ndarray:
+        n_pages = max(
+            1, -(-leaf.count * self._record_itemsize // self.disk.page_size)
+        )
+        data = self._leaf_file.read_stream(
+            leaf.slot * self.pages_per_leaf, n_pages
+        )
+        return np.frombuffer(
+            data[: leaf.count * self._record_itemsize], dtype=self.record_dtype
+        )
+
+    def _rebuild_directory(self) -> None:
+        self._first_keys = np.array(
+            [leaf.first_key for leaf in self._leaves],
+            dtype=self.config.key_dtype,
+        )
+
+    def _write_sidecar(self) -> None:
+        """Persist the summary column (keys + offsets, leaf-aligned).
+
+        SIMS loads this file on first use; it is orders of magnitude
+        smaller than the data, which is what makes the in-memory
+        summary scan of Algorithm 5 feasible.
+        """
+        if not self._leaves:
+            return
+        dtype = np.dtype([("k", self.config.key_dtype), ("off", "<i8")])
+        rows = np.zeros(sum(l.count for l in self._leaves), dtype=dtype)
+        at = 0
+        for i, leaf in enumerate(self._leaves):
+            rows["k"][at : at + leaf.count] = interleave_words(
+                self._leaf_words[i], self.config
+            )
+            rows["off"][at : at + leaf.count] = self._leaf_offsets[i]
+            at += leaf.count
+        self._sidecar = PagedFile(self.disk, name=f"{self.name}-summaries")
+        self._sidecar.write_stream(rows.tobytes())
+        self._summaries_loaded = False
+
+    # ------------------------------------------------------------------
+    # Search (Algorithms 4 and 5)
+    # ------------------------------------------------------------------
+    def _locate_leaf(self, key: bytes) -> int:
+        probe = np.array([key], dtype=self.config.key_dtype)
+        position = int(np.searchsorted(self._first_keys, probe, side="right")[0])
+        return max(0, position - 1)
+
+    def approximate_search(
+        self, query: np.ndarray, radius_leaves: int | None = None
+    ) -> QueryResult:
+        """Algorithm 4: inspect the query's would-be position ± a radius.
+
+        The target leaf (plus ``radius_leaves - 1`` physically adjacent
+        leaves, which are sequential on disk) is read.  A materialized
+        index evaluates everything it just read — the series are right
+        there.  A secondary index additionally has to visit the raw
+        file, so it fetches only the records closest in z-order to the
+        query's insertion point, about one raw-file page per radius
+        step ("usually a disk page", Sec. 4.3).
+        """
+        query = self._query_array(query)
+        radius = radius_leaves or self.default_radius
+        with Measurement(self.disk) as measure:
+            key = query_key(query, self.config)
+            target = self._locate_leaf(key)
+            lo = max(0, target - (radius - 1) // 2)
+            hi = min(len(self._leaves), lo + radius)
+            lo = max(0, hi - radius)
+            identifiers, distances = self._scan_radius(query, key, lo, hi, radius)
+            if len(identifiers):
+                j = int(np.argmin(distances))
+                best_idx, best_dist = int(identifiers[j]), float(distances[j])
+            else:
+                best_idx, best_dist = -1, float("inf")
+        return QueryResult(
+            answer_idx=best_idx,
+            distance=best_dist,
+            visited_records=len(identifiers),
+            visited_leaves=hi - lo,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+        )
+
+    def _scan_radius(
+        self, query: np.ndarray, key: bytes, lo: int, hi: int, radius: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances to the radius candidates: (identifiers, distances)."""
+        records_parts = [
+            self._read_leaf_records(self._leaves[i]) for i in range(lo, hi)
+        ]
+        records_parts = [r for r in records_parts if len(r)]
+        if not records_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        records = (
+            records_parts[0]
+            if len(records_parts) == 1
+            else np.concatenate(records_parts)
+        )
+        if self.is_materialized:
+            series = records["series"].astype(np.float64)
+            identifiers = records["off"].astype(np.int64)
+        else:
+            window = max(4, self.raw.series_per_page) * radius
+            probe = np.array([key], dtype=self.config.key_dtype)
+            position = int(np.searchsorted(records["k"], probe[0]))
+            start = max(0, min(position - window // 2, len(records) - window))
+            subset = records[start : start + window]
+            series = self.raw.get_many(subset["off"])
+            identifiers = subset["off"].astype(np.int64)
+        return identifiers, euclidean_batch(query, series)
+
+    def _ensure_summaries(self) -> None:
+        """Load (or refresh) the in-memory summary arrays, charging I/O."""
+        if self._summaries_dirty:
+            self._write_sidecar()
+            self._summaries_dirty = False
+        if self._summaries_loaded and self._flat_words is not None:
+            return
+        if self._sidecar.n_pages:
+            # One sequential pass over the summary column.
+            self._sidecar.read_stream(0, self._sidecar.n_pages)
+        if self._leaf_words:
+            self._flat_words = np.concatenate(self._leaf_words)
+            self._flat_offsets = np.concatenate(self._leaf_offsets)
+            self._flat_leaf_of = np.repeat(
+                np.arange(len(self._leaves)),
+                [leaf.count for leaf in self._leaves],
+            )
+        else:
+            self._flat_words = np.empty(
+                (0, self.config.word_length), dtype=np.uint16
+            )
+            self._flat_offsets = np.empty(0, dtype=np.int64)
+            self._flat_leaf_of = np.empty(0, dtype=np.int64)
+        self._summaries_loaded = True
+
+    def exact_search(
+        self, query: np.ndarray, radius_leaves: int | None = None
+    ) -> QueryResult:
+        query = self._query_array(query)
+        with Measurement(self.disk) as measure:
+            self._ensure_summaries()
+            seed = self.approximate_search(query, radius_leaves)
+            if self.is_materialized:
+                fetch = self._fetch_from_leaves
+            else:
+                fetch = self._fetch_from_raw
+            outcome = sims_scan(
+                query,
+                self._flat_words,
+                self.config,
+                fetch,
+                initial_bsf=seed.distance,
+                initial_answer=seed.answer_idx,
+            )
+        return QueryResult(
+            answer_idx=outcome.answer_id,
+            distance=outcome.distance,
+            visited_records=outcome.visited_records + seed.visited_records,
+            visited_leaves=seed.visited_leaves,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+            pruned_fraction=outcome.pruned_fraction,
+        )
+
+    def exact_knn(
+        self, query: np.ndarray, k: int, radius_leaves: int | None = None
+    ):
+        """Exact k nearest neighbors (SIMS generalized; see core.knn).
+
+        Returns a :class:`repro.core.knn.KNNOutcome` plus I/O stats via
+        the ``io``/``simulated_io_ms`` attributes attached to it.
+        """
+        from .knn import sims_knn_scan
+
+        query = self._query_array(query)
+        radius = radius_leaves or self.default_radius
+        with Measurement(self.disk) as measure:
+            self._ensure_summaries()
+            key = query_key(query, self.config)
+            target = self._locate_leaf(key)
+            lo = max(0, target - (radius - 1) // 2)
+            hi = min(len(self._leaves), lo + radius)
+            lo = max(0, hi - radius)
+            identifiers, distances = self._scan_radius(query, key, lo, hi, radius)
+            seeds = list(zip(distances.tolist(), identifiers.tolist()))
+            fetch = (
+                self._fetch_from_leaves
+                if self.is_materialized
+                else self._fetch_from_raw
+            )
+            outcome = sims_knn_scan(
+                query, k, self._flat_words, self.config, fetch,
+                seed_distances=seeds,
+            )
+        outcome.visited_records += len(identifiers)
+        outcome.io = measure.io
+        outcome.simulated_io_ms = measure.simulated_io_ms
+        return outcome
+
+    def _fetch_from_raw(
+        self, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        offsets = self._flat_offsets[positions]
+        return self.raw.get_many(offsets), offsets
+
+    def _fetch_from_leaves(
+        self, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read the leaves containing ``positions``, forward-only."""
+        leaf_ids = self._flat_leaf_of[positions]
+        series = np.empty((len(positions), self.raw.length), dtype=np.float64)
+        offsets = np.empty(len(positions), dtype=np.int64)
+        starts = np.concatenate(
+            [[0], np.cumsum([leaf.count for leaf in self._leaves])]
+        )
+        for leaf_id in np.unique(leaf_ids):
+            records = self._read_leaf_records(self._leaves[int(leaf_id)])
+            mask = leaf_ids == leaf_id
+            local = positions[mask] - starts[int(leaf_id)]
+            series[mask] = records["series"][local]
+            offsets[mask] = records["off"][local]
+        return series, offsets
+
+    # ------------------------------------------------------------------
+    # Updates (Fig. 10a)
+    # ------------------------------------------------------------------
+    def insert_batch(self, data: np.ndarray) -> BuildReport:
+        raw = self._require_built()
+        data = np.asarray(data, dtype=np.float32)
+        with Measurement(self.disk) as measure:
+            first_idx = raw.append_batch(data)
+            words = sax_words(data, self.config)
+            keys = interleave_words(words, self.config)
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            offsets = (first_idx + order).astype(np.int64)
+            series = data[order] if self.is_materialized else None
+            self._merge_into_leaves(keys, offsets, series)
+            self._rebuild_directory()
+            self._summaries_dirty = True
+            self._summaries_loaded = False
+        n_leaves, fill = self.leaf_stats()
+        return BuildReport(
+            index_name=self.name,
+            n_series=len(data),
+            wall_s=measure.wall_s,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            index_bytes=self.storage_bytes(),
+            n_leaves=n_leaves,
+            avg_leaf_fill=fill,
+        )
+
+    def _merge_into_leaves(
+        self,
+        keys: np.ndarray,
+        offsets: np.ndarray,
+        series: np.ndarray | None,
+    ) -> None:
+        rec = self.record_dtype
+        if not self._leaves:
+            payload_dtype = np.dtype(
+                [("off", "<i8"), ("series", "<f4", (self.raw.length,))]
+                if self.is_materialized
+                else [("off", "<i8")]
+            )
+            payloads = np.zeros(len(keys), dtype=payload_dtype)
+            payloads["off"] = offsets
+            if self.is_materialized:
+                payloads["series"] = series
+            self._bulk_load(iter([(keys, payloads)]), rec)
+            return
+        probes = keys.astype(self.config.key_dtype)
+        targets = np.maximum(
+            np.searchsorted(self._first_keys, probes, side="right") - 1, 0
+        )
+        new_leaves: list[_Leaf] = []
+        new_words: list[np.ndarray] = []
+        new_offsets: list[np.ndarray] = []
+        for i, leaf in enumerate(self._leaves):
+            mask = targets == i
+            if not mask.any():
+                new_leaves.append(leaf)
+                new_words.append(self._leaf_words[i])
+                new_offsets.append(self._leaf_offsets[i])
+                continue
+            existing = self._read_leaf_records(leaf)
+            merged = np.zeros(leaf.count + int(mask.sum()), dtype=rec)
+            merged[: leaf.count] = existing
+            merged["k"][leaf.count :] = keys[mask]
+            merged["off"][leaf.count :] = offsets[mask]
+            if self.is_materialized:
+                merged["series"][leaf.count :] = series[mask]
+            merged = merged[np.argsort(merged["k"], kind="stable")]
+            # In-memory summaries must mirror the on-disk record order.
+            merged_words = deinterleave_keys(merged["k"], self.config)
+            self._split_and_store(
+                leaf, merged, merged_words, new_leaves, new_words, new_offsets
+            )
+        self._leaves = new_leaves
+        self._leaf_words = new_words
+        self._leaf_offsets = new_offsets
+
+    def _split_and_store(
+        self,
+        leaf: _Leaf,
+        merged: np.ndarray,
+        merged_words: np.ndarray,
+        new_leaves: list[_Leaf],
+        new_words: list[np.ndarray],
+        new_offsets: list[np.ndarray],
+    ) -> None:
+        """Write a merged leaf back, median-splitting while oversized."""
+        if len(merged) <= self.leaf_size:
+            self._write_leaf_records(leaf.slot, merged)
+            first = bytes(merged["k"][0]).ljust(self.config.key_bytes, b"\x00")
+            new_leaves.append(_Leaf(leaf.slot, len(merged), first))
+            new_words.append(merged_words)
+            new_offsets.append(merged["off"].astype(np.int64))
+            return
+        # Median split (Sec. 3.2): divide into the fewest leaves that
+        # fit, each at least half full — never a full leaf plus a
+        # near-empty remainder.
+        n_chunks = -(-len(merged) // self.leaf_size)
+        base = len(merged) // n_chunks
+        remainder = len(merged) % n_chunks
+        chunks = []
+        at = 0
+        for j in range(n_chunks):
+            size = base + (1 if j < remainder else 0)
+            chunks.append((merged[at : at + size], merged_words[at : at + size]))
+            at += size
+        for j, (chunk, chunk_words) in enumerate(chunks):
+            if j == 0:
+                slot = leaf.slot
+            else:
+                slot = self._leaf_file.n_pages // self.pages_per_leaf
+                self._leaf_file.grow(self.pages_per_leaf)
+            self._write_leaf_records(slot, chunk)
+            first = bytes(chunk["k"][0]).ljust(self.config.key_bytes, b"\x00")
+            new_leaves.append(_Leaf(slot, len(chunk), first))
+            new_words.append(chunk_words)
+            new_offsets.append(chunk["off"].astype(np.int64))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        leaf_bytes = self._leaf_file.size_bytes if self._leaves else 0
+        sidecar = self._sidecar.size_bytes if self._leaves else 0
+        return leaf_bytes + sidecar
+
+    def leaf_stats(self) -> tuple[int, float]:
+        if not self._leaves:
+            return 0, 0.0
+        fills = [leaf.count / self.leaf_size for leaf in self._leaves]
+        return len(self._leaves), float(np.mean(fills))

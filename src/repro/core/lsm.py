@@ -1,0 +1,303 @@
+"""Coconut-LSM: log-structured updates over sortable summarizations.
+
+The paper's conclusion names this as future work: "we would also like
+to explore how ideas from LSM trees could be used to enable ...
+efficient updates".  Sortability is exactly what an LSM-tree needs —
+runs are sorted files, and merging sorted runs is sequential I/O — so
+the extension is natural:
+
+* inserts accumulate in an in-memory buffer (the memtable);
+* a full buffer is sorted and flushed as a *run* — a contiguous,
+  sorted (key, offset) file — into level 0;
+* when a level accumulates ``size_ratio`` runs they are merged into
+  one run of the next level (tiering compaction), so every record is
+  rewritten O(log_T(N/M)) times, always sequentially;
+* queries see the union of the memtable and all runs: approximate
+  search probes each run around the query key; exact search runs the
+  SIMS scan over the concatenated in-memory summaries.
+
+Compare with :class:`repro.core.coconut_tree.CoconutTree.insert_batch`,
+which merges batches straight into the leaf level (cheap for big
+batches, expensive for trickles) — the trade-off the Fig. 10a
+experiment measures and `bench_ablation_lsm_updates.py` revisits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
+from ..series.distance import euclidean_batch
+from ..storage.disk import SimulatedDisk
+from ..storage.pager import PagedFile
+from ..storage.seriesfile import RawSeriesFile
+from ..summaries.sax import SAXConfig, sax_words
+from .invsax import deinterleave_keys, interleave_words, query_key
+from .sims import sims_scan
+
+
+@dataclass
+class _Run:
+    """One sorted, contiguous run of (key, offset) records."""
+
+    file: PagedFile
+    keys: np.ndarray  # in-memory summary mirror (S<k>), sorted
+    offsets: np.ndarray
+    level: int
+
+    @property
+    def n_records(self) -> int:
+        return len(self.keys)
+
+
+class CoconutLSM(SeriesIndex):
+    """Write-optimized Coconut variant (secondary index only)."""
+
+    is_materialized = False
+    name = "Coconut-LSM"
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        memory_bytes: int,
+        config: SAXConfig | None = None,
+        size_ratio: int = 4,
+    ):
+        super().__init__(disk, memory_bytes)
+        if size_ratio < 2:
+            raise ValueError(f"size_ratio must be >= 2, got {size_ratio}")
+        self.config = config or SAXConfig()
+        self.size_ratio = size_ratio
+        self._runs: list[_Run] = []
+        self._mem_keys: list[np.ndarray] = []
+        self._mem_offsets: list[np.ndarray] = []
+        self._mem_records = 0
+        self.n_flushes = 0
+        self.n_merges = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _record_bytes(self) -> int:
+        return self.config.key_bytes + 8
+
+    @property
+    def _buffer_capacity(self) -> int:
+        return max(16, self.memory_bytes // (2 * self._record_bytes))
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._runs)
+
+    # ------------------------------------------------------------------
+    # Construction and updates
+    # ------------------------------------------------------------------
+    def build(self, raw: RawSeriesFile) -> BuildReport:
+        """Bulk load: one sorted bottom-level run (same as CTree's sort)."""
+        self.raw = raw
+        with Measurement(self.disk) as measure:
+            if raw.n_series:
+                keys_parts, offset_parts = [], []
+                for start, block in raw.scan():
+                    words = sax_words(block, self.config)
+                    keys_parts.append(interleave_words(words, self.config))
+                    offset_parts.append(
+                        np.arange(start, start + len(block), dtype=np.int64)
+                    )
+                keys = np.concatenate(keys_parts)
+                offsets = np.concatenate(offset_parts)
+                order = np.argsort(keys, kind="stable")
+                self._write_run(keys[order], offsets[order], level=10**6)
+        self.built = True
+        return BuildReport(
+            index_name=self.name,
+            n_series=raw.n_series,
+            wall_s=measure.wall_s,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            index_bytes=self.storage_bytes(),
+            n_leaves=self.n_runs,
+            avg_leaf_fill=1.0,
+        )
+
+    def insert_batch(self, data: np.ndarray) -> BuildReport:
+        raw = self._require_built()
+        data = np.asarray(data, dtype=np.float32)
+        with Measurement(self.disk) as measure:
+            first = raw.append_batch(data)
+            words = sax_words(data, self.config)
+            keys = interleave_words(words, self.config)
+            self._mem_keys.append(keys)
+            self._mem_offsets.append(
+                np.arange(first, first + len(data), dtype=np.int64)
+            )
+            self._mem_records += len(data)
+            if self._mem_records >= self._buffer_capacity:
+                self._flush_memtable()
+        return BuildReport(
+            index_name=self.name,
+            n_series=len(data),
+            wall_s=measure.wall_s,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            index_bytes=self.storage_bytes(),
+            n_leaves=self.n_runs,
+            avg_leaf_fill=1.0,
+        )
+
+    def _flush_memtable(self) -> None:
+        if not self._mem_records:
+            return
+        keys = np.concatenate(self._mem_keys)
+        offsets = np.concatenate(self._mem_offsets)
+        order = np.argsort(keys, kind="stable")
+        self._write_run(keys[order], offsets[order], level=0)
+        self._mem_keys.clear()
+        self._mem_offsets.clear()
+        self._mem_records = 0
+        self.n_flushes += 1
+        self._maybe_compact()
+
+    def _write_run(
+        self, keys: np.ndarray, offsets: np.ndarray, level: int
+    ) -> None:
+        dtype = np.dtype([("k", self.config.key_dtype), ("off", "<i8")])
+        rows = np.zeros(len(keys), dtype=dtype)
+        rows["k"] = keys
+        rows["off"] = offsets
+        file = PagedFile(self.disk, name=f"lsm-L{level}-run")
+        file.write_stream(rows.tobytes())
+        self._runs.append(
+            _Run(file=file, keys=keys, offsets=offsets, level=level)
+        )
+
+    def _maybe_compact(self) -> None:
+        """Tiering: merge a level once it holds ``size_ratio`` runs."""
+        while True:
+            levels: dict[int, list[_Run]] = {}
+            for run in self._runs:
+                levels.setdefault(run.level, []).append(run)
+            overflow = [
+                level
+                for level, runs in levels.items()
+                if level < 10**6 and len(runs) >= self.size_ratio
+            ]
+            if not overflow:
+                return
+            level = min(overflow)
+            group = levels[level]
+            # Merge: read every input run (sequential), write one
+            # output run (sequential) at the next level.
+            for run in group:
+                run.file.read_stream(0, run.file.n_pages)
+                self._runs.remove(run)
+            keys = np.concatenate([run.keys for run in group])
+            offsets = np.concatenate([run.offsets for run in group])
+            order = np.argsort(keys, kind="stable")
+            self._write_run(keys[order], offsets[order], level=level + 1)
+            self.n_merges += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _probe_run(
+        self, run: _Run, key: bytes, window: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Offsets near the query key in one run, charging its I/O."""
+        probe = np.array([key], dtype=self.config.key_dtype)
+        position = int(np.searchsorted(run.keys, probe[0]))
+        start = max(0, min(position - window // 2, run.n_records - window))
+        stop = min(run.n_records, start + window)
+        if stop <= start:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        # Charge the page range of the probed records.
+        rec = self._record_bytes
+        first_page = start * rec // self.disk.page_size
+        last_page = min(
+            run.file.n_pages - 1, max(first_page, (stop * rec) // self.disk.page_size)
+        )
+        run.file.read_stream(first_page, last_page - first_page + 1)
+        return run.offsets[start:stop], np.arange(start, stop)
+
+    def approximate_search(self, query: np.ndarray) -> QueryResult:
+        """Probe every run (and the memtable) around the query key."""
+        query = self._query_array(query)
+        with Measurement(self.disk) as measure:
+            key = query_key(query, self.config)
+            window = max(4, self.raw.series_per_page)
+            offset_parts = []
+            for run in self._runs:
+                offsets, _ = self._probe_run(run, key, window)
+                offset_parts.append(offsets)
+            if self._mem_records:
+                mem_keys = np.concatenate(self._mem_keys)
+                mem_offsets = np.concatenate(self._mem_offsets)
+                order = np.argsort(mem_keys, kind="stable")
+                probe = np.array([key], dtype=self.config.key_dtype)
+                position = int(np.searchsorted(mem_keys[order], probe[0]))
+                start = max(0, position - window // 2)
+                offset_parts.append(mem_offsets[order][start : start + window])
+            best_idx, best_dist, visited = -1, float("inf"), 0
+            if offset_parts:
+                offsets = np.unique(np.concatenate(offset_parts))
+                if len(offsets):
+                    series = self.raw.get_many(offsets)
+                    distances = euclidean_batch(query, series)
+                    visited = len(offsets)
+                    j = int(np.argmin(distances))
+                    best_idx, best_dist = int(offsets[j]), float(distances[j])
+        return QueryResult(
+            answer_idx=best_idx,
+            distance=best_dist,
+            visited_records=visited,
+            visited_leaves=self.n_runs,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+        )
+
+    def exact_search(self, query: np.ndarray) -> QueryResult:
+        """SIMS over the union of all runs plus the memtable."""
+        query = self._query_array(query)
+        with Measurement(self.disk) as measure:
+            seed = self.approximate_search(query)
+            key_parts = [run.keys for run in self._runs] + self._mem_keys
+            offset_parts = [run.offsets for run in self._runs] + self._mem_offsets
+            if key_parts:
+                all_keys = np.concatenate(key_parts)
+                all_offsets = np.concatenate(offset_parts)
+            else:
+                all_keys = np.empty(0, dtype=self.config.key_dtype)
+                all_offsets = np.empty(0, dtype=np.int64)
+            words = deinterleave_keys(all_keys, self.config)
+
+            def fetch(positions: np.ndarray):
+                offsets = all_offsets[positions]
+                return self.raw.get_many(offsets), offsets
+
+            outcome = sims_scan(
+                query,
+                words,
+                self.config,
+                fetch,
+                initial_bsf=seed.distance,
+                initial_answer=seed.answer_idx,
+            )
+        return QueryResult(
+            answer_idx=outcome.answer_id,
+            distance=outcome.distance,
+            visited_records=outcome.visited_records + seed.visited_records,
+            visited_leaves=self.n_runs,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+            pruned_fraction=outcome.pruned_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        return sum(run.file.size_bytes for run in self._runs)
+
+    def leaf_stats(self) -> tuple[int, float]:
+        return self.n_runs, 1.0

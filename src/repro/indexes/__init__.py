@@ -1,0 +1,23 @@
+"""Baseline indexes from the paper's evaluation, plus the shared API."""
+
+from .ads import ADSIndex
+from .base import BuildReport, Measurement, QueryResult, SeriesIndex
+from .dstree import DSTree
+from .isax2 import ISAX2Index, ISAXTree
+from .rtree import RTreeIndex
+from .serial import SerialScan
+from .vertical import VerticalIndex
+
+__all__ = [
+    "ADSIndex",
+    "BuildReport",
+    "DSTree",
+    "ISAX2Index",
+    "ISAXTree",
+    "Measurement",
+    "QueryResult",
+    "RTreeIndex",
+    "SerialScan",
+    "SeriesIndex",
+    "VerticalIndex",
+]

@@ -1,0 +1,142 @@
+"""The common index interface and measurement reports.
+
+Every index in the evaluation — the Coconut family and all baselines —
+implements :class:`SeriesIndex`, so the benchmark harness can sweep
+memory budgets, dataset sizes and query workloads uniformly.  Reports
+carry both wall-clock time and classified simulated I/O, the two
+currencies the paper's figures are plotted in.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.cost import DiskStats
+from ..storage.disk import SimulatedDisk
+from ..storage.seriesfile import RawSeriesFile
+
+
+@dataclass
+class BuildReport:
+    """Outcome of constructing (or batch-extending) an index."""
+
+    index_name: str = ""
+    n_series: int = 0
+    wall_s: float = 0.0
+    io: DiskStats = field(default_factory=DiskStats)
+    simulated_io_ms: float = 0.0
+    index_bytes: int = 0
+    n_leaves: int = 0
+    avg_leaf_fill: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_cost_s(self) -> float:
+        """Simulated I/O time plus CPU wall time, in seconds."""
+        return self.simulated_io_ms / 1000.0 + self.wall_s
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one similarity query."""
+
+    answer_idx: int = -1
+    distance: float = float("inf")
+    visited_records: int = 0
+    visited_leaves: int = 0
+    io: DiskStats = field(default_factory=DiskStats)
+    simulated_io_ms: float = 0.0
+    wall_s: float = 0.0
+    pruned_fraction: float = 0.0
+
+    @property
+    def total_cost_s(self) -> float:
+        return self.simulated_io_ms / 1000.0 + self.wall_s
+
+
+class Measurement:
+    """Context manager capturing wall time and I/O deltas of one step."""
+
+    def __init__(self, disk: SimulatedDisk):
+        self.disk = disk
+        self.io = DiskStats()
+        self.wall_s = 0.0
+        self.simulated_io_ms = 0.0
+
+    def __enter__(self) -> "Measurement":
+        self._snapshot = self.disk.snapshot()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.io = self.disk.stats_since(self._snapshot)
+        self.simulated_io_ms = self.disk.cost_model.io_ms(self.io)
+
+
+class SeriesIndex(abc.ABC):
+    """Interface shared by the Coconut indexes and all baselines.
+
+    Subclasses set :attr:`name` and :attr:`is_materialized`, and
+    implement construction plus the two query modes of the paper:
+    approximate search (visit the most promising leaf or leaves) and
+    exact search (guaranteed nearest neighbor).
+    """
+
+    name: str = "index"
+    is_materialized: bool = False
+
+    def __init__(self, disk: SimulatedDisk, memory_bytes: int):
+        if memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive, got {memory_bytes}")
+        self.disk = disk
+        self.memory_bytes = memory_bytes
+        self.raw: RawSeriesFile | None = None
+        self.built = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build(self, raw: RawSeriesFile) -> BuildReport:
+        """Construct the index over the raw file."""
+
+    @abc.abstractmethod
+    def approximate_search(self, query: np.ndarray) -> QueryResult:
+        """Best-effort nearest neighbor (paper Sec. 4.2/4.3 querying)."""
+
+    @abc.abstractmethod
+    def exact_search(self, query: np.ndarray) -> QueryResult:
+        """Guaranteed nearest neighbor."""
+
+    def insert_batch(self, data: np.ndarray) -> BuildReport:
+        """Add new series to the index (updates experiment, Fig. 10a)."""
+        raise NotImplementedError(f"{self.name} does not support updates")
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Bytes of secondary storage occupied by the index structure."""
+        return 0
+
+    def leaf_stats(self) -> tuple[int, float]:
+        """(number of leaves, average leaf fill factor in [0, 1])."""
+        return 0, 0.0
+
+    def _require_built(self) -> RawSeriesFile:
+        if not self.built or self.raw is None:
+            raise RuntimeError(f"{self.name}: call build() before querying")
+        return self.raw
+
+    def _query_array(self, query: np.ndarray) -> np.ndarray:
+        raw = self._require_built()
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if len(query) != raw.length:
+            raise ValueError(
+                f"query length {len(query)} != indexed length {raw.length}"
+            )
+        return query
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, built={self.built})"

@@ -1,0 +1,66 @@
+"""Serial scan: the brute-force baseline and ground-truth oracle.
+
+No index at all — every query streams the entire raw file and computes
+true distances.  This is the "sequential pass over the complete
+dataset" the paper's introduction motivates indexing against, and the
+reference answer every other index is tested for correctness against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..series.distance import euclidean_batch
+from ..storage.seriesfile import RawSeriesFile
+from .base import BuildReport, Measurement, QueryResult, SeriesIndex
+
+
+class SerialScan(SeriesIndex):
+    """Full sequential scan of the raw file for every query."""
+
+    name = "SerialScan"
+    is_materialized = False
+
+    def build(self, raw: RawSeriesFile) -> BuildReport:
+        self.raw = raw
+        self.built = True
+        return BuildReport(index_name=self.name, n_series=raw.n_series)
+
+    def insert_batch(self, data: np.ndarray) -> BuildReport:
+        raw = self._require_built()
+        with Measurement(self.disk) as measure:
+            raw.append_batch(np.asarray(data, dtype=np.float32))
+        return BuildReport(
+            index_name=self.name,
+            n_series=len(data),
+            wall_s=measure.wall_s,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+        )
+
+    def _scan(self, query: np.ndarray) -> QueryResult:
+        query = self._query_array(query)
+        with Measurement(self.disk) as measure:
+            best_idx, best_dist = -1, float("inf")
+            for start, block in self.raw.scan():
+                distances = euclidean_batch(query, block.astype(np.float64))
+                j = int(np.argmin(distances))
+                if distances[j] < best_dist:
+                    best_dist = float(distances[j])
+                    best_idx = start + j
+        return QueryResult(
+            answer_idx=best_idx,
+            distance=best_dist,
+            visited_records=self.raw.n_series,
+            visited_leaves=0,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+            pruned_fraction=0.0,
+        )
+
+    def approximate_search(self, query: np.ndarray) -> QueryResult:
+        return self._scan(query)
+
+    def exact_search(self, query: np.ndarray) -> QueryResult:
+        return self._scan(query)

@@ -1,0 +1,41 @@
+"""Data series substrate: normalization, distances, generators, windows."""
+
+from .dataseries import EPSILON, is_z_normalized, validate_series_batch, z_normalize
+from .distance import (
+    dtw,
+    early_abandon_euclidean,
+    euclidean,
+    euclidean_batch,
+    lb_keogh,
+    squared_euclidean,
+)
+from .generators import (
+    GENERATORS,
+    astronomy,
+    make_dataset,
+    query_workload,
+    random_walk,
+    seismic,
+)
+from .windows import sliding_windows, window_count
+
+__all__ = [
+    "EPSILON",
+    "GENERATORS",
+    "astronomy",
+    "dtw",
+    "early_abandon_euclidean",
+    "euclidean",
+    "euclidean_batch",
+    "is_z_normalized",
+    "lb_keogh",
+    "make_dataset",
+    "query_workload",
+    "random_walk",
+    "seismic",
+    "sliding_windows",
+    "squared_euclidean",
+    "validate_series_batch",
+    "window_count",
+    "z_normalize",
+]

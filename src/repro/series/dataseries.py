@@ -1,0 +1,62 @@
+"""Data series fundamentals: normalization and validation.
+
+The paper (Sec. 2) defines a data series as an ordered set of
+recordings and z-normalizes every series (subtract mean, divide by
+standard deviation) before indexing, so that Euclidean distance
+corresponds to Pearson correlation and similarity is invariant to
+translation and scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Series whose standard deviation falls below this are treated as
+#: constant and normalized to all-zeros instead of dividing by ~0.
+EPSILON = 1e-8
+
+
+def z_normalize(series: np.ndarray) -> np.ndarray:
+    """Z-normalize one series or a batch of series (last axis).
+
+    Constant series become all-zeros rather than NaN, matching the
+    convention of the iSAX code base the paper builds on.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    mean = series.mean(axis=-1, keepdims=True)
+    std = series.std(axis=-1, keepdims=True)
+    safe = np.where(std < EPSILON, 1.0, std)
+    out = (series - mean) / safe
+    if series.ndim == 1:
+        if std[..., 0] < EPSILON:
+            out[:] = 0.0
+    else:
+        out[(std < EPSILON)[..., 0]] = 0.0
+    return out.astype(np.float32)
+
+
+def is_z_normalized(series: np.ndarray, tolerance: float = 1e-3) -> bool:
+    """Check mean ~0 and std ~1 (or the all-zero constant convention)."""
+    series = np.asarray(series, dtype=np.float64)
+    mean = np.abs(series.mean(axis=-1))
+    std = series.std(axis=-1)
+    ok = (mean < tolerance) & (
+        (np.abs(std - 1.0) < tolerance) | (std < tolerance)
+    )
+    return bool(np.all(ok))
+
+
+def validate_series_batch(data: np.ndarray, length: int | None = None) -> np.ndarray:
+    """Coerce input to a (N, n) float32 batch, checking shape and values."""
+    data = np.asarray(data, dtype=np.float32)
+    if data.ndim == 1:
+        data = data[None, :]
+    if data.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {data.shape}")
+    if length is not None and data.shape[1] != length:
+        raise ValueError(
+            f"expected series of length {length}, got {data.shape[1]}"
+        )
+    if not np.all(np.isfinite(data)):
+        raise ValueError("series contain NaN or infinite values")
+    return data

@@ -1,0 +1,97 @@
+"""Distance functions for data series.
+
+Euclidean distance is the paper's metric (Sec. 2): on z-normalized
+series it is equivalent to maximizing Pearson correlation, and its
+error rate converges to DTW's as datasets grow.  DTW and the LB_Keogh
+lower bound are included as the modification the paper notes can be
+applied to make the indexes DTW-compatible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two equal-length series."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.sqrt(np.sum((a - b) ** 2)))
+
+
+def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return float(np.sum((a - b) ** 2))
+
+
+def euclidean_batch(query: np.ndarray, batch: np.ndarray) -> np.ndarray:
+    """Euclidean distances from one query to every row of a batch."""
+    query = np.asarray(query, dtype=np.float64)
+    batch = np.asarray(batch, dtype=np.float64)
+    return np.sqrt(np.sum((batch - query[None, :]) ** 2, axis=1))
+
+
+def early_abandon_euclidean(
+    a: np.ndarray, b: np.ndarray, best_so_far: float
+) -> float:
+    """ED with early abandoning against a best-so-far threshold.
+
+    Returns ``inf`` as soon as the running sum exceeds
+    ``best_so_far**2``; the UCR-suite optimization used throughout the
+    data series indexing literature.
+    """
+    limit = best_so_far * best_so_far
+    total = 0.0
+    for x, y in zip(a, b):
+        diff = float(x) - float(y)
+        total += diff * diff
+        if total > limit:
+            return float("inf")
+    return float(np.sqrt(total))
+
+
+def dtw(a: np.ndarray, b: np.ndarray, window: int | None = None) -> float:
+    """Dynamic time warping distance with a Sakoe-Chiba band.
+
+    ``window`` is the band half-width; ``None`` means unconstrained.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("DTW requires non-empty series")
+    w = max(n, m) if window is None else max(window, abs(n - m))
+    prev = np.full(m + 1, np.inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = np.full(m + 1, np.inf)
+        lo = max(1, i - w)
+        hi = min(m, i + w)
+        for j in range(lo, hi + 1):
+            cost = (a[i - 1] - b[j - 1]) ** 2
+            cur[j] = cost + min(prev[j], cur[j - 1], prev[j - 1])
+        prev = cur
+    return float(np.sqrt(prev[m]))
+
+
+def lb_keogh(query: np.ndarray, candidate: np.ndarray, window: int) -> float:
+    """LB_Keogh lower bound for DTW under a Sakoe-Chiba band."""
+    query = np.asarray(query, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if query.shape != candidate.shape:
+        raise ValueError(f"shape mismatch: {query.shape} vs {candidate.shape}")
+    n = len(query)
+    upper = np.empty(n)
+    lower = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - window)
+        hi = min(n, i + window + 1)
+        upper[i] = query[lo:hi].max()
+        lower[i] = query[lo:hi].min()
+    above = np.where(candidate > upper, candidate - upper, 0.0)
+    below = np.where(candidate < lower, lower - candidate, 0.0)
+    return float(np.sqrt(np.sum(above**2 + below**2)))

@@ -1,0 +1,31 @@
+"""Storage substrate: a simulated disk in the disk access model.
+
+Provides the block device, paged files, buffer pool, the raw data
+series file, and external merge sort — everything the paper's
+algorithms need from an I/O subsystem, with sequential/random access
+classification so construction and query costs can be compared in the
+same cost model the paper uses.
+"""
+
+from .bufferpool import BufferPool
+from .cost import SSD_COST, UNIFORM_COST, CostModel, DiskStats
+from .disk import PageError, SimulatedDisk
+from .external_sort import ExternalSorter, SortReport, sort_to_arrays
+from .pager import Extent, PagedFile
+from .seriesfile import RawSeriesFile
+
+__all__ = [
+    "BufferPool",
+    "CostModel",
+    "DiskStats",
+    "Extent",
+    "ExternalSorter",
+    "PageError",
+    "PagedFile",
+    "RawSeriesFile",
+    "SimulatedDisk",
+    "SortReport",
+    "SSD_COST",
+    "UNIFORM_COST",
+    "sort_to_arrays",
+]

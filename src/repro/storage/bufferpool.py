@@ -1,0 +1,82 @@
+"""An LRU buffer pool over the simulated disk.
+
+The buffer pool models the main-memory budget M of the disk access
+model: pages cached in the pool are served without disk I/O, so an
+index whose working set fits in the pool behaves as if it were in
+memory, while a larger working set degrades to disk-bound behaviour —
+the transition every experiment in the paper sweeps across.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .disk import SimulatedDisk
+
+
+class BufferPool:
+    """Read cache with LRU eviction and write-through semantics.
+
+    Parameters
+    ----------
+    disk:
+        The underlying device.
+    capacity_pages:
+        Maximum number of cached pages.  Zero disables caching, which
+        makes every access hit the disk (useful for worst-case runs).
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int):
+        if capacity_pages < 0:
+            raise ValueError(f"capacity_pages must be >= 0, got {capacity_pages}")
+        self.disk = disk
+        self.capacity_pages = capacity_pages
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def read(self, page_id: int) -> bytes:
+        """Read through the cache; a miss costs one disk read."""
+        if page_id in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(page_id)
+            return self._cache[page_id]
+        self.misses += 1
+        data = self.disk.read_page(page_id)
+        self._admit(page_id, data)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write through to disk, updating the cached copy."""
+        self.disk.write_page(page_id, data)
+        self._admit(page_id, bytes(data))
+
+    def _admit(self, page_id: int, data: bytes) -> None:
+        if self.capacity_pages == 0:
+            return
+        self._cache[page_id] = data
+        self._cache.move_to_end(page_id)
+        while len(self._cache) > self.capacity_pages:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, page_id: int | None = None) -> None:
+        """Drop one page (or everything) from the cache."""
+        if page_id is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(page_id, None)
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferPool(capacity={self.capacity_pages}, "
+            f"cached={len(self._cache)}, hit_rate={self.hit_rate:.2f})"
+        )

@@ -1,0 +1,139 @@
+"""Paged files on top of the simulated disk.
+
+A :class:`PagedFile` is a logical sequence of pages mapped onto physical
+extents of the disk.  A file created with its final size in one
+``allocate`` call is fully contiguous; a file grown incrementally
+accretes extents, which may be scattered between other allocations —
+mirroring how real filesystems fragment incrementally grown files and
+how top-down-built indexes scatter their leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .disk import PageError, SimulatedDisk
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A physically contiguous range of pages."""
+
+    first_page: int
+    n_pages: int
+
+    def contains(self, offset: int) -> bool:
+        return 0 <= offset < self.n_pages
+
+
+class PagedFile:
+    """A logical page space backed by one or more physical extents."""
+
+    def __init__(self, disk: SimulatedDisk, n_pages: int = 0, name: str = ""):
+        self.disk = disk
+        self.name = name
+        self._extents: list[Extent] = []
+        self._n_pages = 0
+        if n_pages:
+            self.grow(n_pages)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        return self._n_pages
+
+    @property
+    def n_extents(self) -> int:
+        return len(self._extents)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._n_pages * self.disk.page_size
+
+    def grow(self, n_pages: int) -> int:
+        """Append ``n_pages`` as one new physical extent.
+
+        Returns the logical page index of the first new page.  The new
+        extent is merged with the previous one when it happens to be
+        physically adjacent (no intervening allocation).
+        """
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive, got {n_pages}")
+        first_logical = self._n_pages
+        first_physical = self.disk.allocate(n_pages)
+        if (
+            self._extents
+            and self._extents[-1].first_page + self._extents[-1].n_pages
+            == first_physical
+        ):
+            last = self._extents[-1]
+            self._extents[-1] = Extent(last.first_page, last.n_pages + n_pages)
+        else:
+            self._extents.append(Extent(first_physical, n_pages))
+        self._n_pages += n_pages
+        return first_logical
+
+    def physical_page(self, logical: int) -> int:
+        """Map a logical page index to its physical page id."""
+        if not 0 <= logical < self._n_pages:
+            raise PageError(
+                f"logical page {logical} out of range [0, {self._n_pages})"
+            )
+        remaining = logical
+        for extent in self._extents:
+            if extent.contains(remaining):
+                return extent.first_page + remaining
+            remaining -= extent.n_pages
+        raise AssertionError("extent bookkeeping out of sync")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def write(self, logical: int, data: bytes) -> None:
+        self.disk.write_page(self.physical_page(logical), data)
+
+    def read(self, logical: int) -> bytes:
+        return self.disk.read_page(self.physical_page(logical))
+
+    def append_page(self, data: bytes) -> int:
+        """Grow the file by one page and write ``data`` into it."""
+        logical = self.grow(1)
+        self.write(logical, data)
+        return logical
+
+    def write_stream(self, data: bytes, at_page: int = 0) -> int:
+        """Write a byte stream across consecutive logical pages.
+
+        The file is grown as needed.  Returns the number of pages used.
+        """
+        page_size = self.disk.page_size
+        n_pages = max(1, -(-len(data) // page_size))
+        needed = at_page + n_pages - self._n_pages
+        if needed > 0:
+            self.grow(needed)
+        for i in range(n_pages):
+            chunk = data[i * page_size : (i + 1) * page_size]
+            self.write(at_page + i, chunk)
+        return n_pages
+
+    def read_stream(self, first_page: int, n_pages: int) -> bytes:
+        """Read consecutive logical pages as one byte stream."""
+        if first_page < 0 or first_page + n_pages > self._n_pages:
+            raise PageError(
+                f"range [{first_page}, {first_page + n_pages}) out of "
+                f"[0, {self._n_pages})"
+            )
+        parts = []
+        for i in range(first_page, first_page + n_pages):
+            parts.append(self.read(i))
+        return b"".join(
+            part.ljust(self.disk.page_size, b"\x00") for part in parts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PagedFile(name={self.name!r}, pages={self._n_pages}, "
+            f"extents={len(self._extents)})"
+        )

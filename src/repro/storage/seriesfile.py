@@ -1,0 +1,226 @@
+"""The raw data series file.
+
+All indexes in the paper operate against a "raw file" that stores the
+z-normalized data series one after the other.  Secondary
+(non-materialized) indexes keep only offsets into this file and fetch
+series from it at query time; materialized indexes copy the series into
+their leaves.  This module stores the raw file on the simulated disk so
+that fetches are charged to the I/O model, while also keeping the array
+in memory for distance computations once a fetch has paid its I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .bufferpool import BufferPool
+from .disk import SimulatedDisk
+from .pager import PagedFile
+
+
+class RawSeriesFile:
+    """N float32 data series of equal length, stored record-aligned.
+
+    Series are packed ``series_per_page`` to a page when a record fits
+    in a page, and span ``pages_per_series`` consecutive pages when it
+    does not (e.g. very long series on small pages).
+    """
+
+    def __init__(self, disk: SimulatedDisk, length: int, name: str = "raw"):
+        if length <= 0:
+            raise ValueError(f"series length must be positive, got {length}")
+        self.disk = disk
+        self.length = length
+        self.name = name
+        self.record_bytes = 4 * length
+        if self.record_bytes <= disk.page_size:
+            self.series_per_page = disk.page_size // self.record_bytes
+            self.pages_per_series = 1
+        else:
+            self.series_per_page = 1
+            self.pages_per_series = -(-self.record_bytes // disk.page_size)
+        self.file = PagedFile(disk, name=name)
+        self.n_series = 0
+        self._pool: BufferPool | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, disk: SimulatedDisk, data: np.ndarray, name: str = "raw"
+    ) -> "RawSeriesFile":
+        """Write a (N, n) float32 array to disk as the raw file."""
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {data.shape}")
+        raw = cls(disk, data.shape[1], name=name)
+        raw.append_batch(data)
+        return raw
+
+    def append_batch(self, data: np.ndarray) -> int:
+        """Append series to the end of the file (sequential writes).
+
+        Returns the index of the first appended series.
+        """
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[1] != self.length:
+            raise ValueError(
+                f"expected shape (*, {self.length}), got {data.shape}"
+            )
+        first_idx = self.n_series
+        self._append_full(data, first_idx)
+        return first_idx
+
+    def _append_full(self, data: np.ndarray, first_idx: int) -> None:
+        total = first_idx + len(data)
+        if self.pages_per_series == 1:
+            spp = self.series_per_page
+            # Rewrite partial last page if needed.
+            start = first_idx
+            if start % spp:
+                page = start // spp
+                in_page = start % spp
+                existing = np.frombuffer(self.file.read(page), dtype=np.float32)
+                existing = existing[: in_page * self.length]
+                take = min(spp - in_page, len(data))
+                merged = np.concatenate([existing, data[:take].ravel()])
+                self.file.write(page, merged.astype(np.float32).tobytes())
+                data = data[take:]
+                start += take
+            if len(data):
+                n_new_pages = -(-len(data) // spp)
+                first_new = start // spp
+                if first_new + n_new_pages > self.file.n_pages:
+                    self.file.grow(first_new + n_new_pages - self.file.n_pages)
+                for i in range(n_new_pages):
+                    chunk = data[i * spp : (i + 1) * spp]
+                    self.file.write(first_new + i, chunk.ravel().tobytes())
+        else:
+            pps = self.pages_per_series
+            needed = total * pps - self.file.n_pages
+            if needed > 0:
+                self.file.grow(needed)
+            for i, row in enumerate(data):
+                blob = row.astype(np.float32).tobytes()
+                base = (first_idx + i) * pps
+                for j in range(pps):
+                    self.file.write(
+                        base + j,
+                        blob[j * self.disk.page_size : (j + 1) * self.disk.page_size],
+                    )
+        self.n_series = total
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def attach_pool(self, pool: BufferPool | None) -> None:
+        """Route subsequent reads through a buffer pool (or detach)."""
+        self._pool = pool
+
+    def _read_logical(self, logical_page: int) -> bytes:
+        physical = self.file.physical_page(logical_page)
+        if self._pool is not None:
+            return self._pool.read(physical)
+        return self.disk.read_page(physical)
+
+    def _page_of(self, idx: int) -> int:
+        if self.pages_per_series == 1:
+            return idx // self.series_per_page
+        return idx * self.pages_per_series
+
+    def get(self, idx: int) -> np.ndarray:
+        """Fetch one series by index (random I/O unless cached/adjacent)."""
+        if not 0 <= idx < self.n_series:
+            raise IndexError(f"series {idx} out of range [0, {self.n_series})")
+        if self.pages_per_series == 1:
+            page = self._read_logical(self._page_of(idx))
+            offset = (idx % self.series_per_page) * self.record_bytes
+            return np.frombuffer(
+                page[offset : offset + self.record_bytes], dtype=np.float32
+            ).copy()
+        first = self._page_of(idx)
+        blob = b"".join(
+            self._read_logical(first + j).ljust(self.disk.page_size, b"\x00")
+            for j in range(self.pages_per_series)
+        )
+        return np.frombuffer(blob[: self.record_bytes], dtype=np.float32).copy()
+
+    def get_many(self, idxs: np.ndarray) -> np.ndarray:
+        """Fetch many series, visiting each page once in ascending order.
+
+        This is the skip-sequential access pattern of the SIMS exact
+        search: indices are visited in file order so the disk head only
+        moves forward.
+        """
+        idxs = np.asarray(idxs, dtype=np.int64)
+        order = np.argsort(idxs, kind="stable")
+        out = np.empty((len(idxs), self.length), dtype=np.float32)
+        last_page = -1
+        page_data = b""
+        for pos in order:
+            idx = int(idxs[pos])
+            if self.pages_per_series == 1:
+                page = self._page_of(idx)
+                if page != last_page:
+                    page_data = self._read_logical(page)
+                    last_page = page
+                offset = (idx % self.series_per_page) * self.record_bytes
+                out[pos] = np.frombuffer(
+                    page_data[offset : offset + self.record_bytes],
+                    dtype=np.float32,
+                )
+            else:
+                out[pos] = self.get(idx)
+        return out
+
+    def scan(self, chunk_series: int | None = None) -> Iterator[tuple[int, np.ndarray]]:
+        """Sequentially scan the file, yielding (first_index, block).
+
+        ``chunk_series`` bounds the size of each yielded block; blocks
+        are always aligned to page boundaries.
+        """
+        if self.n_series == 0:
+            return
+        if self.pages_per_series == 1:
+            spp = self.series_per_page
+            chunk_pages = max(1, (chunk_series or spp * 64) // spp)
+            idx = 0
+            page = 0
+            n_pages = self._page_of(self.n_series - 1) + 1
+            while page < n_pages:
+                take = min(chunk_pages, n_pages - page)
+                parts = [self._read_logical(page + i) for i in range(take)]
+                blob = b"".join(
+                    p.ljust(self.disk.page_size, b"\x00") for p in parts
+                )
+                count = min(take * spp, self.n_series - idx)
+                block = np.frombuffer(
+                    blob[: count * self.record_bytes], dtype=np.float32
+                ).reshape(count, self.length)
+                yield idx, block
+                idx += count
+                page += take
+        else:
+            step = max(1, chunk_series or 64)
+            for start in range(0, self.n_series, step):
+                count = min(step, self.n_series - start)
+                block = np.empty((count, self.length), dtype=np.float32)
+                for i in range(count):
+                    block[i] = self.get(start + i)
+                yield start, block
+
+    @property
+    def size_bytes(self) -> int:
+        return self.file.size_bytes
+
+    def __len__(self) -> int:
+        return self.n_series
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RawSeriesFile(n={self.n_series}, length={self.length}, "
+            f"pages={self.file.n_pages})"
+        )

@@ -1,0 +1,52 @@
+"""Data series summarizations and their lower-bound distances."""
+
+from .dft import dft_features, dft_lower_bound
+from .dhwt import (
+    haar_lower_bound,
+    haar_transform,
+    inverse_haar_transform,
+    is_power_of_two,
+    level_slices,
+)
+from .eapca import eapca, node_lower_bound, series_lower_bound, validate_boundaries
+from .isax import ISAXPrefix
+from .paa import paa, paa_lower_bound, reconstruct, segment_boundaries
+from .sax import (
+    SAXConfig,
+    breakpoints,
+    extended_breakpoints,
+    mindist_paa_to_words,
+    mindist_words,
+    sax_from_paa,
+    sax_words,
+    symbol_bounds,
+    word_to_text,
+)
+
+__all__ = [
+    "ISAXPrefix",
+    "SAXConfig",
+    "breakpoints",
+    "dft_features",
+    "dft_lower_bound",
+    "eapca",
+    "extended_breakpoints",
+    "haar_lower_bound",
+    "haar_transform",
+    "inverse_haar_transform",
+    "is_power_of_two",
+    "level_slices",
+    "mindist_paa_to_words",
+    "mindist_words",
+    "node_lower_bound",
+    "paa",
+    "paa_lower_bound",
+    "reconstruct",
+    "sax_from_paa",
+    "sax_words",
+    "segment_boundaries",
+    "series_lower_bound",
+    "symbol_bounds",
+    "validate_boundaries",
+    "word_to_text",
+]

@@ -1,0 +1,49 @@
+"""Discrete Fourier Transform summarization.
+
+One of the mainstream summarizations the paper notes Coconut is
+compatible with (Sec. 2): any technique that represents a series as a
+multi-dimensional point can be made sortable by bit-interleaving its
+quantized dimensions.  Features are the leading Fourier coefficients;
+Parseval's theorem makes the truncated coefficient distance a lower
+bound on the true Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dft_features(batch: np.ndarray, n_coefficients: int) -> np.ndarray:
+    """Leading DFT features: (N, 2 * n_coefficients) float64.
+
+    Uses the orthonormal transform so Euclidean geometry is preserved.
+    Coefficient 0 (the mean) is skipped: it is zero on z-normalized
+    series.  Real and imaginary parts are interleaved, each scaled by
+    ``sqrt(2)`` to account for the conjugate-symmetric half of the
+    spectrum not stored.
+    """
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    n = batch.shape[1]
+    if n_coefficients < 1 or n_coefficients > n // 2 - 1:
+        raise ValueError(
+            f"n_coefficients must be in [1, {n // 2 - 1}], got {n_coefficients}"
+        )
+    spectrum = np.fft.rfft(batch, axis=1, norm="ortho")[:, 1 : n_coefficients + 1]
+    features = np.empty((batch.shape[0], 2 * n_coefficients))
+    features[:, 0::2] = spectrum.real * np.sqrt(2.0)
+    features[:, 1::2] = spectrum.imag * np.sqrt(2.0)
+    return features
+
+
+def dft_lower_bound(
+    query_features: np.ndarray, candidate_features: np.ndarray
+) -> np.ndarray:
+    """Lower bound on ED from truncated orthonormal DFT features."""
+    query_features = np.asarray(query_features, dtype=np.float64).ravel()
+    candidate_features = np.atleast_2d(
+        np.asarray(candidate_features, dtype=np.float64)
+    )
+    gaps = candidate_features - query_features[None, :]
+    return np.sqrt(np.sum(gaps * gaps, axis=1))

@@ -1,0 +1,90 @@
+"""Discrete Haar Wavelet Transform (DHWT).
+
+Substrate for the Vertical baseline (Kashyap & Karras), which stores
+wavelet coefficients level by level and answers queries by scanning
+resolutions stepwise.  The orthonormal Haar transform preserves
+Euclidean distances exactly, so a prefix of the coefficients yields a
+lower bound and the full set recovers the true distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def haar_transform(batch: np.ndarray) -> np.ndarray:
+    """Orthonormal Haar coefficients, coarsest first.
+
+    Output layout per row: ``[approx, d_0, d_1x2, d_2x4, ...]`` — the
+    overall (scaled) average, then detail levels of growing resolution.
+    Requires power-of-two length.
+    """
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    n = batch.shape[1]
+    if not is_power_of_two(n):
+        raise ValueError(f"Haar transform requires power-of-two length, got {n}")
+    details: list[np.ndarray] = []
+    current = batch.copy()
+    while current.shape[1] > 1:
+        even = current[:, 0::2]
+        odd = current[:, 1::2]
+        details.append((even - odd) / np.sqrt(2.0))
+        current = (even + odd) / np.sqrt(2.0)
+    # current is the (N, 1) approximation; details are finest-first.
+    return np.concatenate([current] + details[::-1], axis=1)
+
+
+def inverse_haar_transform(coefficients: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_transform` exactly."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.ndim == 1:
+        coefficients = coefficients[None, :]
+    n = coefficients.shape[1]
+    if not is_power_of_two(n):
+        raise ValueError(f"expected power-of-two width, got {n}")
+    current = coefficients[:, :1].copy()
+    offset = 1
+    while offset < n:
+        detail = coefficients[:, offset : offset * 2]
+        expanded = np.empty((coefficients.shape[0], offset * 2))
+        expanded[:, 0::2] = (current + detail) / np.sqrt(2.0)
+        expanded[:, 1::2] = (current - detail) / np.sqrt(2.0)
+        current = expanded
+        offset *= 2
+    return current
+
+
+def level_slices(length: int) -> list[slice]:
+    """Column ranges of each resolution level in transform output.
+
+    Level 0 is the single approximation coefficient; level ``l >= 1``
+    holds ``2**(l-1)`` detail coefficients.
+    """
+    if not is_power_of_two(length):
+        raise ValueError(f"expected power-of-two length, got {length}")
+    slices = [slice(0, 1)]
+    offset = 1
+    while offset < length:
+        slices.append(slice(offset, offset * 2))
+        offset *= 2
+    return slices
+
+
+def haar_lower_bound(
+    query_coefficients: np.ndarray,
+    candidate_coefficients: np.ndarray,
+) -> np.ndarray:
+    """Lower bound on ED from coefficient prefixes (orthonormality)."""
+    query_coefficients = np.asarray(query_coefficients, dtype=np.float64).ravel()
+    candidate_coefficients = np.atleast_2d(
+        np.asarray(candidate_coefficients, dtype=np.float64)
+    )
+    k = candidate_coefficients.shape[1]
+    gaps = candidate_coefficients - query_coefficients[None, :k]
+    return np.sqrt(np.sum(gaps * gaps, axis=1))

@@ -1,0 +1,85 @@
+"""Extended Adaptive Piecewise Constant Approximation (EAPCA).
+
+Substrate for the DSTree baseline (Wang et al., PVLDB 2013): each
+series is summarized per segment by its mean *and* standard deviation,
+over a segmentation that adapts per tree node.  A node's synopsis (the
+min/max of means and stds among its resident series, per segment)
+yields a lower bound on the distance from any query to anything in the
+node's subtree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_boundaries(boundaries: np.ndarray, length: int) -> np.ndarray:
+    """Check a segmentation: strictly increasing, spanning [0, length]."""
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    if boundaries[0] != 0 or boundaries[-1] != length:
+        raise ValueError(f"segmentation must span [0, {length}]: {boundaries}")
+    if np.any(np.diff(boundaries) <= 0):
+        raise ValueError(f"segment boundaries must increase: {boundaries}")
+    return boundaries
+
+
+def eapca(batch: np.ndarray, boundaries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment (means, stds) under the given segmentation.
+
+    Returns two (N, n_segments) arrays.
+    """
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    boundaries = validate_boundaries(boundaries, batch.shape[1])
+    starts = boundaries[:-1]
+    sizes = np.diff(boundaries).astype(np.float64)
+    sums = np.add.reduceat(batch, starts, axis=1)
+    means = sums / sizes
+    square_sums = np.add.reduceat(batch * batch, starts, axis=1)
+    variance = np.maximum(square_sums / sizes - means * means, 0.0)
+    return means, np.sqrt(variance)
+
+
+def node_lower_bound(
+    query: np.ndarray,
+    boundaries: np.ndarray,
+    mean_min: np.ndarray,
+    mean_max: np.ndarray,
+    std_min: np.ndarray,
+    std_max: np.ndarray,
+) -> float:
+    """Lower bound from a raw query to any series inside a node.
+
+    For a segment of length ``l``, and any series y in the node:
+    ``sum (x_j - y_j)^2 >= l*(ux - uy)^2 + l*(sx - sy)^2`` where u/s
+    are segment mean/std (decompose around segment means and apply the
+    triangle inequality to the centered parts).  Since uy and sy lie in
+    the node's recorded ranges, distance-to-range bounds the term.
+    """
+    query = np.asarray(query, dtype=np.float64).ravel()
+    q_means, q_stds = eapca(query, boundaries)
+    q_means, q_stds = q_means[0], q_stds[0]
+    sizes = np.diff(np.asarray(boundaries, dtype=np.int64)).astype(np.float64)
+    mean_gap = np.maximum(
+        np.maximum(mean_min - q_means, q_means - mean_max), 0.0
+    )
+    std_gap = np.maximum(np.maximum(std_min - q_stds, q_stds - std_max), 0.0)
+    return float(np.sqrt(np.sum(sizes * (mean_gap**2 + std_gap**2))))
+
+
+def series_lower_bound(
+    query: np.ndarray,
+    boundaries: np.ndarray,
+    means: np.ndarray,
+    stds: np.ndarray,
+) -> np.ndarray:
+    """Vectorized lower bound from a query to many summarized series."""
+    query = np.asarray(query, dtype=np.float64).ravel()
+    q_means, q_stds = eapca(query, boundaries)
+    q_means, q_stds = q_means[0], q_stds[0]
+    sizes = np.diff(np.asarray(boundaries, dtype=np.int64)).astype(np.float64)
+    means = np.atleast_2d(means)
+    stds = np.atleast_2d(stds)
+    gap = (means - q_means[None, :]) ** 2 + (stds - q_stds[None, :]) ** 2
+    return np.sqrt(np.sum(sizes[None, :] * gap, axis=1))

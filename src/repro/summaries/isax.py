@@ -1,0 +1,151 @@
+"""indexable SAX (iSAX): multi-resolution SAX words.
+
+An iSAX word annotates every segment's symbol with the number of bits
+used to represent it, so a low-resolution word denotes a *region* of
+the summary space.  iSAX-family indexes (iSAX 2.0, ADS, and
+Coconut-Trie's node masks) identify every node with such a prefix
+region; splitting a node promotes one segment to one more bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sax import SAXConfig, extended_breakpoints
+
+
+@dataclass(frozen=True)
+class ISAXPrefix:
+    """A node region: per-segment symbol prefixes at per-segment depths.
+
+    ``symbols[j]`` holds the high ``bits[j]`` bits of segment ``j``'s
+    full-cardinality symbol.  ``bits[j] == 0`` means the whole value
+    range (symbol must be 0).
+    """
+
+    symbols: tuple[int, ...]
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.symbols) != len(self.bits):
+            raise ValueError("symbols and bits must have equal length")
+        for symbol, bit in zip(self.symbols, self.bits):
+            if bit < 0:
+                raise ValueError(f"negative bit count {bit}")
+            if symbol >= (1 << bit):
+                raise ValueError(
+                    f"symbol {symbol} does not fit in {bit} bits"
+                )
+
+    @classmethod
+    def root(cls, word_length: int) -> "ISAXPrefix":
+        """The whole-space region (zero bits everywhere)."""
+        return cls((0,) * word_length, (0,) * word_length)
+
+    @classmethod
+    def from_full_word(
+        cls, word: np.ndarray, config: SAXConfig, bits: tuple[int, ...] | None = None
+    ) -> "ISAXPrefix":
+        """Truncate a full-cardinality word to the given depths."""
+        full = config.bits_per_symbol
+        word = np.asarray(word, dtype=np.int64).ravel()
+        if bits is None:
+            bits = (full,) * config.word_length
+        symbols = tuple(
+            int(word[j]) >> (full - bits[j]) for j in range(len(word))
+        )
+        return cls(symbols, tuple(bits))
+
+    def matches(self, word: np.ndarray, config: SAXConfig) -> bool:
+        """Does a full-cardinality word fall inside this region?"""
+        full = config.bits_per_symbol
+        word = np.asarray(word, dtype=np.int64).ravel()
+        for j, (symbol, bit) in enumerate(zip(self.symbols, self.bits)):
+            if (int(word[j]) >> (full - bit)) != symbol if bit else symbol != 0:
+                return False
+        return True
+
+    def matches_batch(self, words: np.ndarray, config: SAXConfig) -> np.ndarray:
+        """Vectorized :meth:`matches` over (N, w) words."""
+        full = config.bits_per_symbol
+        words = np.atleast_2d(np.asarray(words, dtype=np.int64))
+        ok = np.ones(len(words), dtype=bool)
+        for j, (symbol, bit) in enumerate(zip(self.symbols, self.bits)):
+            if bit:
+                ok &= (words[:, j] >> (full - bit)) == symbol
+        return ok
+
+    def split(self, segment: int) -> tuple["ISAXPrefix", "ISAXPrefix"]:
+        """Promote ``segment`` by one bit, yielding the two children."""
+        symbols = list(self.symbols)
+        bits = list(self.bits)
+        bits[segment] += 1
+        left = symbols.copy()
+        right = symbols.copy()
+        left[segment] = symbols[segment] << 1
+        right[segment] = (symbols[segment] << 1) | 1
+        return (
+            ISAXPrefix(tuple(left), tuple(bits)),
+            ISAXPrefix(tuple(right), tuple(bits)),
+        )
+
+    def region_bounds(self, config: SAXConfig) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) PAA-value bounds of the region per segment."""
+        lower = np.empty(len(self.symbols))
+        upper = np.empty(len(self.symbols))
+        for j, (symbol, bit) in enumerate(zip(self.symbols, self.bits)):
+            if bit == 0:
+                lower[j], upper[j] = -np.inf, np.inf
+            else:
+                ext = extended_breakpoints(1 << bit)
+                lower[j] = ext[symbol]
+                upper[j] = ext[symbol + 1]
+        return lower, upper
+
+    def mindist(self, query_paa: np.ndarray, config: SAXConfig) -> float:
+        """Lower bound from a query's PAA to any series in this region."""
+        query_paa = np.asarray(query_paa, dtype=np.float64).ravel()
+        lower, upper = self.region_bounds(config)
+        below = np.where(query_paa < lower, lower - query_paa, 0.0)
+        above = np.where(query_paa > upper, query_paa - upper, 0.0)
+        gap = below + above
+        return float(np.sqrt(config.segment_size * np.sum(gap * gap)))
+
+    def choose_split_segment(
+        self, words: np.ndarray, config: SAXConfig
+    ) -> int:
+        """Pick the segment whose next bit best balances the node.
+
+        The paper (Sec. 2): "the segment whose next unprefixed digit
+        divides the resident data series most is selected".  Segments
+        already at full depth are excluded.
+        """
+        full = config.bits_per_symbol
+        words = np.atleast_2d(np.asarray(words, dtype=np.int64))
+        best_segment = -1
+        best_balance = -1.0
+        n = len(words)
+        for j, bit in enumerate(self.bits):
+            if bit >= full:
+                continue
+            next_bits = (words[:, j] >> (full - bit - 1)) & 1
+            ones = int(next_bits.sum())
+            balance = min(ones, n - ones) / n if n else 0.0
+            if balance > best_balance:
+                best_balance = balance
+                best_segment = j
+        if best_segment < 0:
+            raise ValueError("all segments already at full cardinality")
+        return best_segment
+
+    @property
+    def depth(self) -> int:
+        return sum(self.bits)
+
+    def __str__(self) -> str:
+        parts = []
+        for symbol, bit in zip(self.symbols, self.bits):
+            parts.append(format(symbol, f"0{bit}b") if bit else "*")
+        return " ".join(parts)

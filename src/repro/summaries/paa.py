@@ -1,0 +1,64 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA partitions a series into equal-sized segments and represents each
+by its mean value (paper Fig. 1).  It is the substrate of SAX (which
+discretizes PAA values into symbols) and of the R-tree baseline (which
+indexes the PAA points directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def segment_boundaries(length: int, n_segments: int) -> np.ndarray:
+    """Start offsets of each segment (plus the final end offset).
+
+    When ``length`` is not divisible by ``n_segments`` the segments
+    differ in size by at most one point.
+    """
+    if n_segments <= 0:
+        raise ValueError(f"n_segments must be positive, got {n_segments}")
+    if length < n_segments:
+        raise ValueError(
+            f"cannot split length {length} into {n_segments} segments"
+        )
+    return (np.arange(n_segments + 1) * length) // n_segments
+
+
+def paa(batch: np.ndarray, n_segments: int) -> np.ndarray:
+    """PAA means for a batch of series; returns (N, n_segments) float64."""
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    bounds = segment_boundaries(batch.shape[1], n_segments)
+    sums = np.add.reduceat(batch, bounds[:-1], axis=1)
+    sizes = np.diff(bounds).astype(np.float64)
+    return sums / sizes
+
+
+def paa_lower_bound(
+    query_paa: np.ndarray, candidate_paa: np.ndarray, length: int
+) -> np.ndarray:
+    """Lower bound on ED between series from their PAA representations.
+
+    ``DR(Q, C) = sqrt(sum_i l_i * (q_i - c_i)^2)`` where ``l_i`` is the
+    segment size — the classic PAA bounding lemma (Keogh et al. 2001).
+    Accepts a single candidate or a batch.
+    """
+    query_paa = np.asarray(query_paa, dtype=np.float64)
+    candidate_paa = np.atleast_2d(np.asarray(candidate_paa, dtype=np.float64))
+    sizes = np.diff(segment_boundaries(length, query_paa.shape[-1]))
+    gaps = (candidate_paa - query_paa[None, :]) ** 2
+    out = np.sqrt(np.sum(gaps * sizes[None, :], axis=1))
+    return out if out.shape[0] > 1 else out
+
+
+def reconstruct(paa_values: np.ndarray, length: int) -> np.ndarray:
+    """Expand PAA values back to a step-function series of ``length``."""
+    paa_values = np.atleast_2d(np.asarray(paa_values, dtype=np.float64))
+    bounds = segment_boundaries(length, paa_values.shape[1])
+    out = np.empty((paa_values.shape[0], length))
+    for i in range(paa_values.shape[1]):
+        out[:, bounds[i] : bounds[i + 1]] = paa_values[:, i : i + 1]
+    return out

@@ -1,0 +1,173 @@
+"""Symbolic Aggregate approXimation (SAX).
+
+SAX discretizes PAA values into symbols using breakpoints that divide
+the N(0, 1) value space into equiprobable regions (paper Fig. 1): more
+regions near zero, fewer at the extremes, so symbols are roughly
+uniformly used on z-normalized data.
+
+The full-cardinality SAX word of a series is the per-segment symbol
+sequence; :mod:`repro.summaries.isax` adds the multi-resolution view
+and :mod:`repro.core.invsax` adds the sortable (z-ordered) view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+from scipy import stats
+
+
+@lru_cache(maxsize=None)
+def breakpoints(cardinality: int) -> np.ndarray:
+    """The ``cardinality - 1`` interior breakpoints of N(0, 1).
+
+    Region ``s`` (symbol value ``s``) covers
+    ``(breakpoints[s-1], breakpoints[s]]`` with the conventions
+    ``breakpoints[-1] = -inf`` and ``breakpoints[c-1] = +inf``.
+    """
+    if cardinality < 2:
+        raise ValueError(f"cardinality must be >= 2, got {cardinality}")
+    if cardinality & (cardinality - 1):
+        raise ValueError(f"cardinality must be a power of two, got {cardinality}")
+    quantiles = np.linspace(0.0, 1.0, cardinality + 1)[1:-1]
+    result = stats.norm.ppf(quantiles)
+    result.flags.writeable = False
+    return result
+
+
+@lru_cache(maxsize=None)
+def extended_breakpoints(cardinality: int) -> np.ndarray:
+    """Breakpoints with ``-inf`` / ``+inf`` sentinels (length c + 1)."""
+    result = np.concatenate([[-np.inf], breakpoints(cardinality), [np.inf]])
+    result.flags.writeable = False
+    return result
+
+
+@dataclass(frozen=True)
+class SAXConfig:
+    """Shape of the summarization used throughout an index.
+
+    Defaults follow the iSAX literature the paper builds on: 16
+    segments at cardinality 256 (8 bits per symbol), series length 256.
+    """
+
+    series_length: int = 256
+    word_length: int = 16
+    cardinality: int = 256
+
+    def __post_init__(self) -> None:
+        if self.cardinality & (self.cardinality - 1) or self.cardinality < 2:
+            raise ValueError(
+                f"cardinality must be a power of two >= 2, got {self.cardinality}"
+            )
+        if self.word_length <= 0:
+            raise ValueError(f"word_length must be positive, got {self.word_length}")
+        if self.series_length < self.word_length:
+            raise ValueError(
+                f"series_length {self.series_length} shorter than "
+                f"word_length {self.word_length}"
+            )
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return int(self.cardinality).bit_length() - 1
+
+    @property
+    def key_bits(self) -> int:
+        """Total bits in a full word (= bits in an invSAX key)."""
+        return self.word_length * self.bits_per_symbol
+
+    @property
+    def key_bytes(self) -> int:
+        return -(-self.key_bits // 8)
+
+    @property
+    def key_dtype(self) -> np.dtype:
+        return np.dtype(f"S{self.key_bytes}")
+
+    @property
+    def segment_size(self) -> float:
+        return self.series_length / self.word_length
+
+    @property
+    def summary_bytes(self) -> int:
+        """Bytes to store one full-cardinality word."""
+        return self.word_length * (2 if self.cardinality > 256 else 1)
+
+
+def sax_from_paa(paa_values: np.ndarray, cardinality: int) -> np.ndarray:
+    """Quantize PAA values into SAX symbols (uint16)."""
+    paa_values = np.asarray(paa_values, dtype=np.float64)
+    return np.searchsorted(
+        breakpoints(cardinality), paa_values, side="left"
+    ).astype(np.uint16)
+
+
+def sax_words(batch: np.ndarray, config: SAXConfig) -> np.ndarray:
+    """Full-cardinality SAX words for a batch: (N, word_length) uint16."""
+    from .paa import paa
+
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    if batch.shape[1] != config.series_length:
+        raise ValueError(
+            f"expected series of length {config.series_length}, "
+            f"got {batch.shape[1]}"
+        )
+    return sax_from_paa(paa(batch, config.word_length), config.cardinality)
+
+
+def symbol_bounds(
+    words: np.ndarray, cardinality: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(lower, upper) region bounds for each symbol in ``words``."""
+    ext = extended_breakpoints(cardinality)
+    words = np.asarray(words, dtype=np.int64)
+    return ext[words], ext[words + 1]
+
+
+def mindist_paa_to_words(
+    query_paa: np.ndarray, words: np.ndarray, config: SAXConfig
+) -> np.ndarray:
+    """Vectorized lower bound from a query's PAA to many SAX words.
+
+    This is the tighter PAA-to-region mindist used by iSAX
+    implementations: per segment, distance from the query's PAA value
+    to the candidate symbol's region (zero if inside), scaled by the
+    segment size.  Guaranteed ``<=`` the true Euclidean distance.
+    """
+    query_paa = np.asarray(query_paa, dtype=np.float64).ravel()
+    words = np.atleast_2d(words)
+    lower, upper = symbol_bounds(words, config.cardinality)
+    below = np.where(query_paa[None, :] < lower, lower - query_paa[None, :], 0.0)
+    above = np.where(query_paa[None, :] > upper, query_paa[None, :] - upper, 0.0)
+    gap = below + above
+    return np.sqrt(config.segment_size * np.sum(gap * gap, axis=1))
+
+
+def mindist_words(
+    word_a: np.ndarray, word_b: np.ndarray, config: SAXConfig
+) -> float:
+    """Symbol-to-symbol mindist (the original SAX MINDIST)."""
+    ext = extended_breakpoints(config.cardinality)
+    a = np.asarray(word_a, dtype=np.int64).ravel()
+    b = np.asarray(word_b, dtype=np.int64).ravel()
+    hi = np.maximum(a, b)
+    lo = np.minimum(a, b)
+    gap = np.where(hi - lo <= 1, 0.0, ext[hi] - ext[np.minimum(lo + 1, len(ext) - 1)])
+    return float(np.sqrt(config.segment_size * np.sum(gap * gap)))
+
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def word_to_text(word: np.ndarray, cardinality: int) -> str:
+    """Render a low-cardinality word as letters, e.g. 'fcfd' (Fig. 1)."""
+    if cardinality > len(_ALPHABET):
+        raise ValueError(
+            f"text rendering supports cardinality <= {len(_ALPHABET)}"
+        )
+    return "".join(_ALPHABET[int(s)] for s in np.asarray(word).ravel())

@@ -1,0 +1,98 @@
+"""Tests for the ADS baselines (ADSFull and adaptive ADS+)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import ADSIndex, SerialScan
+from repro.series import random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+
+
+def build(n=300, plus=True, leaf_size=32, memory=1 << 20, seed=0):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = ADSIndex(
+        disk,
+        memory_bytes=memory,
+        config=CONFIG,
+        leaf_size=leaf_size,
+        plus=plus,
+    )
+    report = index.build(raw)
+    return disk, index, data, report
+
+
+def test_ads_plus_is_secondary():
+    _, index, _, _ = build(plus=True)
+    assert not index.is_materialized
+    assert index.name == "ADS+"
+
+
+def test_ads_full_is_materialized():
+    _, index, _, _ = build(plus=False)
+    assert index.is_materialized
+    assert index.name == "ADSFull"
+
+
+def test_ads_plus_builds_faster_than_full():
+    """ADS+ skips the second (materializing) pass over the raw data."""
+    _, _, _, plus_report = build(n=500, plus=True, seed=1)
+    _, _, _, full_report = build(n=500, plus=False, seed=1)
+    assert plus_report.simulated_io_ms < full_report.simulated_io_ms
+    assert plus_report.index_bytes < full_report.index_bytes
+
+
+@pytest.mark.parametrize("plus", [True, False])
+def test_exact_search_matches_serial_scan(plus):
+    disk, index, data, _ = build(n=300, plus=plus, seed=2)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    for query in random_walk(10, length=64, seed=42):
+        got = index.exact_search(query)
+        want = oracle.exact_search(query)
+        assert got.distance == pytest.approx(want.distance, rel=1e-6)
+
+
+def test_exact_search_prunes_records():
+    _, index, _, _ = build(n=800, seed=3)
+    query = random_walk(1, length=64, seed=50)[0]
+    result = index.exact_search(query)
+    assert result.visited_records < 800
+    assert result.pruned_fraction > 0.0
+
+
+def test_adaptive_refinement_happens_once_per_leaf():
+    _, index, _, _ = build(n=600, plus=True, leaf_size=64, seed=4)
+    query = random_walk(1, length=64, seed=51)[0]
+    first = index.approximate_search(query)
+    splits_after_first = index.adaptive_splits
+    again = index.approximate_search(query)
+    assert index.adaptive_splits == splits_after_first
+    # Re-visiting a materialized leaf is cheaper.
+    assert again.simulated_io_ms <= first.simulated_io_ms
+
+
+def test_adaptive_split_reduces_visited_leaf_size():
+    _, index, _, _ = build(n=600, plus=True, leaf_size=64, seed=5)
+    query = random_walk(1, length=64, seed=52)[0]
+    result = index.approximate_search(query)
+    assert result.visited_records <= 64
+
+
+def test_insert_batch_preserves_exactness():
+    disk, index, data, _ = build(n=200, plus=True, seed=6)
+    extra = random_walk(50, length=64, seed=53)
+    index.insert_batch(extra)
+    index.tree.flush_all()
+    got = index.exact_search(extra[3])
+    assert got.distance == pytest.approx(0.0, abs=1e-5)
+
+
+def test_query_on_indexed_series_finds_zero_distance():
+    _, index, data, _ = build(n=150, plus=False, seed=7)
+    result = index.exact_search(data[99])
+    assert result.distance == pytest.approx(0.0, abs=1e-5)

@@ -1,0 +1,87 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage import BufferPool, SimulatedDisk
+
+
+def make_disk_with_pages(n):
+    disk = SimulatedDisk()
+    disk.allocate(n)
+    for page in range(n):
+        disk.write_page(page, bytes([page]))
+    disk.reset_stats()
+    disk.park_head()
+    return disk
+
+
+def test_cache_hit_avoids_disk_io():
+    disk = make_disk_with_pages(4)
+    pool = BufferPool(disk, capacity_pages=4)
+    pool.read(0)
+    before = disk.stats.total_reads
+    pool.read(0)
+    assert disk.stats.total_reads == before
+    assert pool.hits == 1
+    assert pool.misses == 1
+
+
+def test_lru_eviction_order():
+    disk = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity_pages=2)
+    pool.read(0)
+    pool.read(1)
+    pool.read(0)  # page 0 is now most recent
+    pool.read(2)  # evicts page 1
+    disk.reset_stats()
+    pool.read(0)
+    assert disk.stats.total_reads == 0  # still cached
+    pool.read(1)
+    assert disk.stats.total_reads == 1  # was evicted
+
+
+def test_zero_capacity_disables_caching():
+    disk = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity_pages=0)
+    pool.read(0)
+    pool.read(0)
+    assert pool.hits == 0
+    assert disk.stats.total_reads == 2
+
+
+def test_write_through_updates_cache_and_disk():
+    disk = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity_pages=2)
+    pool.write(0, b"new")
+    assert disk.stats.total_writes == 1
+    disk.reset_stats()
+    assert pool.read(0) == b"new"
+    assert disk.stats.total_reads == 0  # served from cache
+    assert disk.read_page(0) == b"new"  # durably on disk
+
+
+def test_invalidate_single_and_all():
+    disk = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity_pages=3)
+    for page in range(3):
+        pool.read(page)
+    pool.invalidate(1)
+    assert pool.cached_pages == 2
+    pool.invalidate()
+    assert pool.cached_pages == 0
+
+
+def test_negative_capacity_rejected():
+    disk = make_disk_with_pages(1)
+    with pytest.raises(ValueError):
+        BufferPool(disk, capacity_pages=-1)
+
+
+def test_hit_rate():
+    disk = make_disk_with_pages(2)
+    pool = BufferPool(disk, capacity_pages=2)
+    assert pool.hit_rate == 0.0
+    pool.read(0)
+    pool.read(0)
+    pool.read(0)
+    assert pool.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,48 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_build_command_prints_table(capsys):
+    code = main(["build", "--group", "secondary", "--n", "300",
+                 "--length", "64", "--memory", "1.0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "construction sweep" in out
+    assert "CTree" in out and "ADS+" in out
+
+
+def test_query_command_exact(capsys):
+    code = main(["query", "--n", "300", "--length", "64",
+                 "--queries", "2", "--indexes", "CTree"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exact query costs" in out
+    assert "avg_pruned" in out
+
+
+def test_space_command(capsys):
+    code = main(["space", "--n", "300", "--length", "64"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "leaf_fill" in out
+
+
+def test_updates_command(capsys):
+    code = main(["updates", "--n", "400", "--length", "64",
+                 "--batches", "100", "--queries", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mixed insert/query workload" in out
+
+
+def test_dataset_choice_validated():
+    with pytest.raises(SystemExit):
+        main(["build", "--dataset", "nonsense"])

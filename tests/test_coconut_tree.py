@@ -1,0 +1,206 @@
+"""Tests for Coconut-Tree (Algorithm 3-5): build, search, updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoconutTree
+from repro.series import euclidean, euclidean_batch, random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+
+
+def build_index(n=500, materialized=False, leaf_size=32, memory=1 << 20,
+                fill_factor=1.0, seed=0, page_size=2048):
+    disk = SimulatedDisk(page_size=page_size)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutTree(
+        disk,
+        memory_bytes=memory,
+        config=CONFIG,
+        leaf_size=leaf_size,
+        fill_factor=fill_factor,
+        materialized=materialized,
+    )
+    report = index.build(raw)
+    return disk, index, data, report
+
+
+def brute_force_nn(query, data):
+    distances = euclidean_batch(query, data.astype(np.float64))
+    best = int(np.argmin(distances))
+    return best, float(distances[best])
+
+
+def test_build_report_basics():
+    _, index, data, report = build_index()
+    assert report.n_series == 500
+    assert report.n_leaves == index.leaf_stats()[0]
+    assert report.index_bytes > 0
+    assert report.simulated_io_ms > 0
+
+
+def test_leaves_are_full_with_unit_fill_factor():
+    _, index, _, report = build_index(n=512, leaf_size=32)
+    n_leaves, fill = index.leaf_stats()
+    assert n_leaves == 16
+    assert fill == pytest.approx(1.0)
+
+
+def test_fill_factor_controls_packing():
+    _, index, _, _ = build_index(n=512, leaf_size=32, fill_factor=0.5)
+    n_leaves, fill = index.leaf_stats()
+    assert n_leaves == 32
+    assert fill == pytest.approx(0.5)
+
+
+def test_leaf_level_is_contiguous():
+    """Bulk loading writes the leaf level as one extent."""
+    _, index, _, _ = build_index()
+    assert index._leaf_file.n_extents == 1
+
+
+def test_records_sorted_across_leaves():
+    _, index, _, _ = build_index(n=300)
+    previous = b""
+    for leaf in index._leaves:
+        records = index._read_leaf_records(leaf)
+        keys = [bytes(k).ljust(CONFIG.key_bytes, b"\x00") for k in records["k"]]
+        assert all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))
+        assert previous <= keys[0]
+        previous = keys[-1]
+
+
+def test_every_series_lands_in_exactly_one_leaf():
+    _, index, data, _ = build_index(n=277)
+    seen = []
+    for leaf in index._leaves:
+        seen.extend(int(off) for off in index._read_leaf_records(leaf)["off"])
+    assert sorted(seen) == list(range(277))
+
+
+def test_materialized_leaves_store_series():
+    _, index, data, _ = build_index(n=100, materialized=True)
+    for leaf in index._leaves:
+        records = index._read_leaf_records(leaf)
+        for row in records:
+            np.testing.assert_array_almost_equal(
+                row["series"], data[int(row["off"])], decimal=5
+            )
+
+
+def test_build_with_tight_memory_spills_runs():
+    _, _, _, report = build_index(n=800, memory=2048)
+    assert report.extra["sort_runs"] > 1
+
+
+def test_approximate_search_returns_valid_answer():
+    _, index, data, _ = build_index(n=400, seed=1)
+    query = random_walk(1, length=64, seed=123)[0]
+    result = index.approximate_search(query)
+    assert 0 <= result.answer_idx < 400
+    assert result.distance == pytest.approx(
+        euclidean(query.astype(np.float64), data[result.answer_idx])
+    )
+    assert result.visited_leaves == 1
+
+
+def test_approximate_radius_improves_or_matches_quality():
+    _, index, data, _ = build_index(n=600, seed=2)
+    queries = random_walk(20, length=64, seed=99)
+    narrow = [index.approximate_search(q, radius_leaves=1).distance for q in queries]
+    wide = [index.approximate_search(q, radius_leaves=9).distance for q in queries]
+    assert all(w <= n + 1e-9 for w, n in zip(wide, narrow))
+    assert np.mean(wide) < np.mean(narrow)
+
+
+@pytest.mark.parametrize("materialized", [False, True])
+def test_exact_search_matches_brute_force(materialized):
+    _, index, data, _ = build_index(n=350, materialized=materialized, seed=3)
+    queries = random_walk(15, length=64, seed=55)
+    for query in queries:
+        result = index.exact_search(query)
+        expected_idx, expected_dist = brute_force_nn(query, data)
+        assert result.distance == pytest.approx(expected_dist, rel=1e-6)
+        assert euclidean(query.astype(np.float64), data[result.answer_idx]) == (
+            pytest.approx(expected_dist, rel=1e-6)
+        )
+
+
+def test_exact_search_prunes_records():
+    _, index, _, _ = build_index(n=1000, seed=4)
+    query = random_walk(1, length=64, seed=77)[0]
+    result = index.exact_search(query)
+    assert result.visited_records < 1000
+    assert result.pruned_fraction > 0.0
+
+
+def test_exact_on_indexed_series_finds_itself():
+    _, index, data, _ = build_index(n=200, seed=5)
+    result = index.exact_search(data[42])
+    assert result.distance == pytest.approx(0.0, abs=1e-5)
+
+
+def test_query_length_validation():
+    _, index, _, _ = build_index(n=50)
+    with pytest.raises(ValueError):
+        index.exact_search(np.zeros(32))
+
+
+def test_query_before_build_fails():
+    disk = SimulatedDisk()
+    index = CoconutTree(disk, memory_bytes=1024, config=CONFIG)
+    with pytest.raises(RuntimeError):
+        index.exact_search(np.zeros(64))
+
+
+def test_constructor_validation():
+    disk = SimulatedDisk()
+    with pytest.raises(ValueError):
+        CoconutTree(disk, memory_bytes=0)
+    with pytest.raises(ValueError):
+        CoconutTree(disk, memory_bytes=1024, fill_factor=0.3)
+    with pytest.raises(ValueError):
+        CoconutTree(disk, memory_bytes=1024, leaf_size=0)
+
+
+def test_insert_batch_then_exact_search():
+    disk, index, data, _ = build_index(n=256, leaf_size=32, seed=6)
+    extra = random_walk(64, length=64, seed=7)
+    report = index.insert_batch(extra)
+    assert report.n_series == 64
+    all_data = np.vstack([data, extra])
+    queries = random_walk(10, length=64, seed=8)
+    for query in queries:
+        result = index.exact_search(query)
+        _, expected = brute_force_nn(query, all_data)
+        assert result.distance == pytest.approx(expected, rel=1e-6)
+
+
+def test_insert_batch_splits_keep_leaf_bounds():
+    _, index, _, _ = build_index(n=200, leaf_size=16, seed=9)
+    index.insert_batch(random_walk(100, length=64, seed=10))
+    for leaf in index._leaves:
+        assert 0 < leaf.count <= index.leaf_size
+
+
+def test_insert_into_empty_index():
+    disk = SimulatedDisk(page_size=2048)
+    raw = RawSeriesFile.create(
+        disk, np.empty((0, 64), dtype=np.float32)
+    ) if False else None
+    # Build over a tiny file, then grow it via inserts.
+    data = random_walk(4, length=64, seed=11)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutTree(disk, memory_bytes=1 << 20, config=CONFIG, leaf_size=8)
+    index.build(raw)
+    index.insert_batch(random_walk(40, length=64, seed=12))
+    assert sum(l.count for l in index._leaves) == 44
+
+
+def test_larger_radius_counts_more_visited_leaves():
+    _, index, _, _ = build_index(n=600, seed=13)
+    query = random_walk(1, length=64, seed=14)[0]
+    assert index.approximate_search(query, radius_leaves=5).visited_leaves == 5

@@ -1,0 +1,77 @@
+"""Tests for cost-model effects on whole-index behaviour."""
+
+import pytest
+
+from repro.core import CoconutTree
+from repro.indexes import ADSIndex
+from repro.series import random_walk
+from repro.storage import (
+    SSD_COST,
+    UNIFORM_COST,
+    CostModel,
+    RawSeriesFile,
+    SimulatedDisk,
+)
+from repro.summaries import SAXConfig
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+
+
+def build_cost(index_kind, cost_model, memory=4096, n=600):
+    disk = SimulatedDisk(page_size=2048, cost_model=cost_model)
+    data = random_walk(n, length=64, seed=1)
+    raw = RawSeriesFile.create(disk, data)
+    disk.reset_stats()
+    if index_kind == "ctree":
+        index = CoconutTree(disk, memory, config=CONFIG, leaf_size=32)
+    else:
+        index = ADSIndex(disk, memory, config=CONFIG, leaf_size=32)
+    report = index.build(raw)
+    return report
+
+
+def test_hdd_punishes_topdown_more_than_bulk_load():
+    hdd_ads = build_cost("ads", CostModel()).simulated_io_ms
+    hdd_ctree = build_cost("ctree", CostModel()).simulated_io_ms
+    uni_ads = build_cost("ads", UNIFORM_COST).simulated_io_ms
+    uni_ctree = build_cost("ctree", UNIFORM_COST).simulated_io_ms
+    assert hdd_ads / hdd_ctree > uni_ads / uni_ctree
+
+
+def test_ssd_narrows_but_preserves_the_gap():
+    ssd_ads = build_cost("ads", SSD_COST).simulated_io_ms
+    ssd_ctree = build_cost("ctree", SSD_COST).simulated_io_ms
+    hdd_ads = build_cost("ads", CostModel()).simulated_io_ms
+    hdd_ctree = build_cost("ctree", CostModel()).simulated_io_ms
+    assert ssd_ads > ssd_ctree  # Coconut still wins on flash
+    assert ssd_ads / ssd_ctree < hdd_ads / hdd_ctree
+
+
+def test_same_access_counts_regardless_of_cost_model():
+    """The cost model prices accesses; it must not change them."""
+    hdd = build_cost("ctree", CostModel()).io
+    uniform = build_cost("ctree", UNIFORM_COST).io
+    assert hdd.total_ios == uniform.total_ios
+    assert hdd.sequential_writes == uniform.sequential_writes
+    assert hdd.random_reads == uniform.random_reads
+
+
+def test_queries_priced_by_cost_model():
+    disk_costly = SimulatedDisk(
+        page_size=2048, cost_model=CostModel(random_read_ms=100.0)
+    )
+    data = random_walk(300, length=64, seed=2)
+    raw = RawSeriesFile.create(disk_costly, data)
+    index = CoconutTree(disk_costly, 1 << 20, config=CONFIG, leaf_size=32)
+    index.build(raw)
+    query = random_walk(1, length=64, seed=3)[0]
+    expensive = index.exact_search(query)
+
+    disk_cheap = SimulatedDisk(page_size=2048, cost_model=UNIFORM_COST)
+    raw2 = RawSeriesFile.create(disk_cheap, data)
+    index2 = CoconutTree(disk_cheap, 1 << 20, config=CONFIG, leaf_size=32)
+    index2.build(raw2)
+    cheap = index2.exact_search(query)
+
+    assert expensive.distance == pytest.approx(cheap.distance, rel=1e-9)
+    assert expensive.simulated_io_ms > cheap.simulated_io_ms

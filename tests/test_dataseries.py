@@ -1,0 +1,78 @@
+"""Tests for z-normalization and batch validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.series import is_z_normalized, validate_series_batch, z_normalize
+
+
+def test_znorm_single_series():
+    out = z_normalize(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert abs(out.mean()) < 1e-6
+    assert abs(out.std() - 1.0) < 1e-6
+
+
+def test_znorm_batch():
+    rng = np.random.default_rng(0)
+    data = rng.uniform(-100, 100, size=(20, 64))
+    out = z_normalize(data)
+    assert out.shape == data.shape
+    assert out.dtype == np.float32
+    np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-5)
+    np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-5)
+
+
+def test_constant_series_become_zero():
+    out = z_normalize(np.full(16, 3.5))
+    np.testing.assert_array_equal(out, np.zeros(16, dtype=np.float32))
+
+
+def test_constant_rows_in_batch_become_zero():
+    data = np.vstack([np.full(8, 2.0), np.arange(8, dtype=float)])
+    out = z_normalize(data)
+    np.testing.assert_array_equal(out[0], np.zeros(8, dtype=np.float32))
+    assert out[1].std() == pytest.approx(1.0, abs=1e-5)
+
+
+def test_is_z_normalized():
+    rng = np.random.default_rng(1)
+    data = z_normalize(rng.standard_normal((5, 32)))
+    assert is_z_normalized(data)
+    assert not is_z_normalized(rng.uniform(5, 10, size=(5, 32)))
+
+
+def test_znorm_idempotent():
+    rng = np.random.default_rng(2)
+    once = z_normalize(rng.standard_normal((3, 16)) * 7 + 3)
+    twice = z_normalize(once)
+    np.testing.assert_allclose(once, twice, atol=1e-5)
+
+
+def test_validate_promotes_1d():
+    out = validate_series_batch(np.arange(4, dtype=np.float32))
+    assert out.shape == (1, 4)
+
+
+def test_validate_rejects_bad_shapes_and_values():
+    with pytest.raises(ValueError):
+        validate_series_batch(np.zeros((2, 3, 4)))
+    with pytest.raises(ValueError):
+        validate_series_batch(np.array([[1.0, np.nan]]))
+    with pytest.raises(ValueError):
+        validate_series_batch(np.zeros((2, 8)), length=16)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=4, max_side=64),
+        elements=st.floats(-1e6, 1e6),
+    )
+)
+def test_property_znorm_output_is_normalized(data):
+    out = z_normalize(data)
+    assert is_z_normalized(out, tolerance=1e-2)

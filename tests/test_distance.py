@@ -1,0 +1,127 @@
+"""Tests for distance functions and lower bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.series import (
+    dtw,
+    early_abandon_euclidean,
+    euclidean,
+    euclidean_batch,
+    lb_keogh,
+    squared_euclidean,
+)
+
+
+def test_euclidean_known_value():
+    assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+
+def test_euclidean_identity():
+    a = np.arange(8, dtype=float)
+    assert euclidean(a, a) == 0.0
+
+
+def test_euclidean_shape_mismatch():
+    with pytest.raises(ValueError):
+        euclidean(np.zeros(3), np.zeros(4))
+
+
+def test_squared_euclidean_consistency():
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((2, 32))
+    assert squared_euclidean(a, b) == pytest.approx(euclidean(a, b) ** 2)
+
+
+def test_euclidean_batch_matches_scalar():
+    rng = np.random.default_rng(1)
+    query = rng.standard_normal(16)
+    batch = rng.standard_normal((10, 16))
+    dists = euclidean_batch(query, batch)
+    for i in range(10):
+        assert dists[i] == pytest.approx(euclidean(query, batch[i]))
+
+
+def test_early_abandon_agrees_when_within_threshold():
+    rng = np.random.default_rng(2)
+    a, b = rng.standard_normal((2, 64))
+    full = euclidean(a, b)
+    assert early_abandon_euclidean(a, b, full + 1.0) == pytest.approx(full)
+
+
+def test_early_abandon_returns_inf_beyond_threshold():
+    a = np.zeros(32)
+    b = np.ones(32) * 10
+    assert early_abandon_euclidean(a, b, 1.0) == float("inf")
+
+
+def test_dtw_identity_and_symmetry():
+    rng = np.random.default_rng(3)
+    a, b = rng.standard_normal((2, 24))
+    assert dtw(a, a) == pytest.approx(0.0)
+    assert dtw(a, b) == pytest.approx(dtw(b, a))
+
+
+def test_dtw_never_exceeds_euclidean():
+    """Unconstrained DTW is upper-bounded by lock-step ED."""
+    rng = np.random.default_rng(4)
+    for _ in range(5):
+        a, b = rng.standard_normal((2, 20))
+        assert dtw(a, b) <= euclidean(a, b) + 1e-9
+
+
+def test_dtw_aligns_shifted_patterns():
+    """A shifted copy should be much closer under DTW than ED."""
+    base = np.sin(np.linspace(0, 4 * np.pi, 64))
+    shifted = np.roll(base, 3)
+    assert dtw(base, shifted, window=8) < 0.5 * euclidean(base, shifted)
+
+
+def test_dtw_empty_rejected():
+    with pytest.raises(ValueError):
+        dtw(np.array([]), np.array([1.0]))
+
+
+def test_lb_keogh_lower_bounds_dtw():
+    rng = np.random.default_rng(5)
+    for _ in range(10):
+        a, b = rng.standard_normal((2, 32))
+        window = 4
+        assert lb_keogh(a, b, window) <= dtw(a, b, window=window) + 1e-9
+
+
+def test_lb_keogh_shape_mismatch():
+    with pytest.raises(ValueError):
+        lb_keogh(np.zeros(4), np.zeros(5), 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        min_size=2,
+        max_size=40,
+    ),
+    window=st.integers(min_value=1, max_value=8),
+)
+def test_property_lb_keogh_is_a_lower_bound(data, window):
+    a = np.array([x for x, _ in data])
+    b = np.array([y for _, y in data])
+    assert lb_keogh(a, b, window) <= dtw(a, b, window=window) + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_triangle_inequality(data):
+    a = np.array([x for x, _ in data])
+    b = np.array([y for _, y in data])
+    c = np.zeros(len(data))
+    assert euclidean(a, b) <= euclidean(a, c) + euclidean(c, b) + 1e-6

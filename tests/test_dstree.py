@@ -1,0 +1,98 @@
+"""Tests for the DSTree baseline (adaptive segmentation tree)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import DSTree, SerialScan
+from repro.series import random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+
+
+def build(n=300, leaf_size=32, memory=1 << 20, seed=0):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = DSTree(disk, memory_bytes=memory, leaf_size=leaf_size)
+    report = index.build(raw)
+    return disk, index, data, report
+
+
+def leaves_of(index):
+    out = []
+    stack = [index.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            out.append(node)
+        else:
+            stack.extend(node.children)
+    return out
+
+
+def test_all_series_indexed_once():
+    _, index, _, _ = build(n=250)
+    offsets = []
+    for leaf in leaves_of(index):
+        offsets.extend(int(o) for o in index._leaf_records(leaf)["off"])
+    assert sorted(offsets) == list(range(250))
+
+
+def test_tree_splits_and_respects_leaf_size():
+    _, index, _, report = build(n=500, leaf_size=16)
+    assert report.extra["splits"] > 0
+    for leaf in leaves_of(index):
+        assert leaf.total <= 16 * 2  # overflow leaves are rare but legal
+
+
+def test_vertical_splits_refine_segmentation():
+    _, index, _, _ = build(n=600, leaf_size=16)
+    depths = [len(leaf.boundaries) for leaf in leaves_of(index)]
+    assert max(depths) > len(index.root.boundaries)
+
+
+def test_synopsis_covers_members():
+    _, index, data, _ = build(n=300, leaf_size=16)
+    from repro.summaries import eapca
+
+    for leaf in leaves_of(index):
+        records = index._leaf_records(leaf)
+        if len(records) == 0:
+            continue
+        means, stds = eapca(
+            records["series"].astype(np.float64), leaf.boundaries
+        )
+        assert np.all(means >= leaf.mean_min - 1e-6)
+        assert np.all(means <= leaf.mean_max + 1e-6)
+        assert np.all(stds >= leaf.std_min - 1e-6)
+        assert np.all(stds <= leaf.std_max + 1e-6)
+
+
+def test_exact_search_matches_serial_scan():
+    disk, index, data, _ = build(n=300, seed=1)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    for query in random_walk(10, length=64, seed=42):
+        got = index.exact_search(query)
+        want = oracle.exact_search(query)
+        assert got.distance == pytest.approx(want.distance, rel=1e-6)
+
+
+def test_exact_search_prunes():
+    _, index, _, _ = build(n=800, seed=2)
+    query = random_walk(1, length=64, seed=50)[0]
+    result = index.exact_search(query)
+    assert result.pruned_fraction > 0.0
+
+
+def test_approximate_search_valid():
+    _, index, data, _ = build(n=400, seed=3)
+    query = random_walk(1, length=64, seed=51)[0]
+    result = index.approximate_search(query)
+    assert 0 <= result.answer_idx < 400
+    assert np.isfinite(result.distance)
+
+
+def test_construction_io_heavy_under_tight_memory():
+    _, _, _, generous = build(n=400, memory=1 << 22, seed=4)
+    _, _, _, tight = build(n=400, memory=8192, seed=4)
+    assert tight.simulated_io_ms > generous.simulated_io_ms

@@ -1,0 +1,129 @@
+"""Tests for DTW-compatible search (the paper's noted extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoconutTree, dtw_exact_search, dtw_mindist_to_words, query_envelope
+from repro.core.dtw_search import envelope_segment_bounds
+from repro.series import dtw, random_walk, z_normalize
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig, sax_words
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+WINDOW = 4
+
+
+def build_index(n=200, seed=0, materialized=False):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutTree(
+        disk, memory_bytes=1 << 20, config=CONFIG, leaf_size=32,
+        materialized=materialized,
+    )
+    index.build(raw)
+    return index, data
+
+
+def brute_force_dtw(query, data, window):
+    distances = [dtw(query, row.astype(np.float64), window=window) for row in data]
+    best = int(np.argmin(distances))
+    return best, float(distances[best])
+
+
+def test_envelope_brackets_query():
+    query = random_walk(1, length=64, seed=0)[0].astype(np.float64)
+    upper, lower = query_envelope(query, WINDOW)
+    assert np.all(upper >= query)
+    assert np.all(lower <= query)
+
+
+def test_envelope_widens_with_window():
+    query = random_walk(1, length=64, seed=1)[0].astype(np.float64)
+    u1, l1 = query_envelope(query, 2)
+    u2, l2 = query_envelope(query, 8)
+    assert np.all(u2 >= u1)
+    assert np.all(l2 <= l1)
+
+
+def test_envelope_zero_window_is_query():
+    query = random_walk(1, length=64, seed=2)[0].astype(np.float64)
+    upper, lower = query_envelope(query, 0)
+    np.testing.assert_allclose(upper, query)
+    np.testing.assert_allclose(lower, query)
+
+
+def test_envelope_negative_window_rejected():
+    with pytest.raises(ValueError):
+        query_envelope(np.zeros(8), -1)
+
+
+def test_segment_bounds_cover_envelope():
+    query = random_walk(1, length=64, seed=3)[0].astype(np.float64)
+    upper, lower = query_envelope(query, WINDOW)
+    u_max, l_min = envelope_segment_bounds(upper, lower, CONFIG)
+    assert len(u_max) == CONFIG.word_length
+    assert np.all(u_max >= l_min)
+
+
+def test_dtw_mindist_lower_bounds_dtw():
+    data = random_walk(60, length=64, seed=4)
+    query = random_walk(1, length=64, seed=5)[0].astype(np.float64)
+    upper, lower = query_envelope(query, WINDOW)
+    words = sax_words(data, CONFIG)
+    bounds = dtw_mindist_to_words(upper, lower, words, CONFIG)
+    for i in range(60):
+        true = dtw(query, data[i].astype(np.float64), window=WINDOW)
+        assert bounds[i] <= true + 1e-6
+
+
+@pytest.mark.parametrize("materialized", [False, True])
+def test_dtw_exact_search_matches_brute_force(materialized):
+    index, data = build_index(n=150, seed=6, materialized=materialized)
+    for seed in (40, 41, 42):
+        query = random_walk(1, length=64, seed=seed)[0].astype(np.float64)
+        result = dtw_exact_search(index, query, window=WINDOW)
+        _, want = brute_force_dtw(query, data, WINDOW)
+        assert result.distance == pytest.approx(want, rel=1e-6)
+
+
+def test_dtw_search_finds_shifted_copy():
+    """The point of DTW: a time-shifted copy should be the match."""
+    disk = SimulatedDisk(page_size=2048)
+    base = random_walk(80, length=64, seed=7)
+    shifted = z_normalize(np.roll(base[13].astype(np.float64), 3))
+    data = np.vstack([base, shifted[None, :]]).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutTree(disk, memory_bytes=1 << 20, config=CONFIG, leaf_size=32)
+    index.build(raw)
+    query = z_normalize(base[13].astype(np.float64))
+    result = dtw_exact_search(index, query, window=8)
+    # The best DTW match is either the series itself or its shift.
+    assert result.answer_idx in (13, 80)
+    assert result.distance < 1.0
+
+
+def test_dtw_search_refines_fewer_than_visited():
+    index, _ = build_index(n=400, seed=8)
+    query = random_walk(1, length=64, seed=9)[0].astype(np.float64)
+    result = dtw_exact_search(index, query, window=WINDOW)
+    assert result.refined_records <= result.visited_records
+    assert result.pruned_fraction >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16), window=st.sampled_from([1, 3, 6]))
+def test_property_region_bound_below_dtw(seed, window):
+    """The SAX-region DTW bound must never exceed true DTW."""
+    rng = np.random.default_rng(seed)
+    data = z_normalize(rng.standard_normal((6, 64)))
+    query = z_normalize(rng.standard_normal(64))
+    upper, lower = query_envelope(query.astype(np.float64), window)
+    words = sax_words(data, CONFIG)
+    bounds = dtw_mindist_to_words(upper, lower, words, CONFIG)
+    for i in range(6):
+        true = dtw(query.astype(np.float64), data[i].astype(np.float64),
+                   window=window)
+        assert bounds[i] <= true + 1e-6

@@ -1,0 +1,104 @@
+"""Tests for EAPCA summarization and the DSTree lower bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.series import euclidean, z_normalize
+from repro.summaries import (
+    eapca,
+    node_lower_bound,
+    series_lower_bound,
+    validate_boundaries,
+)
+
+
+def test_validate_boundaries():
+    out = validate_boundaries([0, 4, 8], 8)
+    np.testing.assert_array_equal(out, [0, 4, 8])
+    with pytest.raises(ValueError):
+        validate_boundaries([0, 4], 8)
+    with pytest.raises(ValueError):
+        validate_boundaries([1, 8], 8)
+    with pytest.raises(ValueError):
+        validate_boundaries([0, 4, 4, 8], 8)
+
+
+def test_eapca_known_values():
+    series = np.array([[0.0, 2.0, 10.0, 10.0]])
+    means, stds = eapca(series, [0, 2, 4])
+    np.testing.assert_allclose(means[0], [1.0, 10.0])
+    np.testing.assert_allclose(stds[0], [1.0, 0.0])
+
+
+def test_eapca_adaptive_segmentation():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((5, 32))
+    means, stds = eapca(data, [0, 3, 20, 32])
+    assert means.shape == (5, 3)
+    np.testing.assert_allclose(means[:, 0], data[:, :3].mean(axis=1))
+    np.testing.assert_allclose(stds[:, 1], data[:, 3:20].std(axis=1), atol=1e-9)
+
+
+def test_series_lower_bound_holds():
+    rng = np.random.default_rng(1)
+    data = z_normalize(rng.standard_normal((40, 64)))
+    query = z_normalize(rng.standard_normal(64))
+    boundaries = np.array([0, 10, 30, 50, 64])
+    means, stds = eapca(data, boundaries)
+    bounds = series_lower_bound(query, boundaries, means, stds)
+    for i in range(40):
+        assert bounds[i] <= euclidean(query, data[i]) + 1e-6
+
+
+def test_node_lower_bound_holds_for_members():
+    rng = np.random.default_rng(2)
+    data = z_normalize(rng.standard_normal((25, 32)))
+    query = z_normalize(rng.standard_normal(32))
+    boundaries = np.array([0, 8, 16, 32])
+    means, stds = eapca(data, boundaries)
+    bound = node_lower_bound(
+        query,
+        boundaries,
+        means.min(axis=0),
+        means.max(axis=0),
+        stds.min(axis=0),
+        stds.max(axis=0),
+    )
+    for i in range(25):
+        assert bound <= euclidean(query, data[i]) + 1e-6
+
+
+def test_node_bound_weaker_than_series_bound():
+    """Aggregating over a node can only loosen the bound."""
+    rng = np.random.default_rng(3)
+    data = z_normalize(rng.standard_normal((10, 32)))
+    query = z_normalize(rng.standard_normal(32))
+    boundaries = np.array([0, 16, 32])
+    means, stds = eapca(data, boundaries)
+    node = node_lower_bound(
+        query,
+        boundaries,
+        means.min(axis=0),
+        means.max(axis=0),
+        stds.min(axis=0),
+        stds.max(axis=0),
+    )
+    per_series = series_lower_bound(query, boundaries, means, stds)
+    assert node <= per_series.min() + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    cut=st.integers(min_value=1, max_value=31),
+)
+def test_property_eapca_bound_any_segmentation(seed, cut):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(32)
+    b = rng.standard_normal(32)
+    boundaries = np.array([0, cut, 32])
+    means, stds = eapca(b[None, :], boundaries)
+    bound = series_lower_bound(a, boundaries, means, stds)[0]
+    assert bound <= euclidean(a, b) + 1e-6

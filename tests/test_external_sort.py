@@ -1,0 +1,122 @@
+"""Tests for external merge sort under a memory budget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import ExternalSorter, SimulatedDisk, sort_to_arrays
+
+
+def make_records(n, key_bytes=8, payload="offset", seed=0):
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, 256, size=(n, key_bytes), dtype=np.uint8)
+    keys = raw.view(f"S{key_bytes}").ravel()
+    if payload == "offset":
+        values = np.arange(n, dtype=np.int64)
+    else:
+        values = rng.standard_normal((n, 8)).astype(np.float32)
+    return keys, values
+
+
+def test_in_memory_sort_no_io():
+    disk = SimulatedDisk()
+    keys, values = make_records(100)
+    sorter = ExternalSorter(disk, memory_bytes=1 << 20)
+    sorted_keys, sorted_values = sort_to_arrays(sorter, keys, values)
+    assert not sorter.report.spilled
+    assert disk.stats.total_ios == 0
+    assert np.all(sorted_keys[:-1] <= sorted_keys[1:])
+    # Payloads permuted consistently with keys.
+    np.testing.assert_array_equal(keys[sorted_values], sorted_keys)
+
+
+def test_spilled_sort_is_correct():
+    disk = SimulatedDisk(page_size=512)
+    keys, values = make_records(1000)
+    record_bytes = 16  # 8 key + 8 payload
+    sorter = ExternalSorter(disk, memory_bytes=record_bytes * 100)
+    sorted_keys, sorted_values = sort_to_arrays(sorter, keys, values)
+    assert sorter.report.spilled
+    assert sorter.report.n_runs == 10
+    assert np.all(sorted_keys[:-1] <= sorted_keys[1:])
+    np.testing.assert_array_equal(keys[sorted_values], sorted_keys)
+    assert len(sorted_keys) == 1000
+
+
+def test_spilled_sort_io_is_mostly_sequential():
+    """With page-spanning merge buffers, streaming dominates seeking."""
+    disk = SimulatedDisk(page_size=512)
+    keys, values = make_records(4000)
+    sorter = ExternalSorter(disk, memory_bytes=16 * 1000)
+    list(sorter.sort(keys, values))
+    stats = disk.stats
+    assert stats.sequential_writes > stats.random_writes
+    assert stats.sequential_reads > stats.random_reads
+
+
+def test_sort_is_stable_on_equal_keys():
+    disk = SimulatedDisk()
+    keys = np.array([b"b", b"a", b"a", b"b", b"a"], dtype="S1")
+    values = np.arange(5, dtype=np.int64)
+    sorter = ExternalSorter(disk, memory_bytes=1 << 20)
+    _, sorted_values = sort_to_arrays(sorter, keys, values)
+    np.testing.assert_array_equal(sorted_values, [1, 2, 4, 0, 3])
+
+
+def test_matrix_payloads_roundtrip():
+    disk = SimulatedDisk(page_size=256)
+    keys, values = make_records(300, payload="matrix")
+    sorter = ExternalSorter(disk, memory_bytes=(8 + 32) * 50)
+    sorted_keys, sorted_values = sort_to_arrays(sorter, keys, values)
+    assert sorter.report.spilled
+    order = np.argsort(keys, kind="stable")
+    np.testing.assert_array_equal(sorted_keys, keys[order])
+    np.testing.assert_allclose(sorted_values, values[order])
+
+
+def test_empty_input():
+    disk = SimulatedDisk()
+    sorter = ExternalSorter(disk, memory_bytes=1024)
+    keys, values = make_records(0)
+    chunks = list(sorter.sort(keys, values))
+    assert chunks == []
+
+
+def test_single_record():
+    disk = SimulatedDisk()
+    sorter = ExternalSorter(disk, memory_bytes=1024)
+    keys = np.array([b"zz"], dtype="S2")
+    values = np.array([7], dtype=np.int64)
+    sorted_keys, sorted_values = sort_to_arrays(sorter, keys, values)
+    assert bytes(sorted_keys[0]) == b"zz"
+    assert sorted_values[0] == 7
+
+
+def test_mismatched_lengths_rejected():
+    disk = SimulatedDisk()
+    sorter = ExternalSorter(disk, memory_bytes=1024)
+    with pytest.raises(ValueError):
+        list(sorter.sort(np.array([b"a"], dtype="S1"), np.arange(2)))
+
+
+def test_bad_memory_budget_rejected():
+    with pytest.raises(ValueError):
+        ExternalSorter(SimulatedDisk(), memory_bytes=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    memory_records=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_sorted_output_matches_numpy(n, memory_records, seed):
+    """External sort equals argsort for any budget and input size."""
+    disk = SimulatedDisk(page_size=256)
+    keys, values = make_records(n, seed=seed)
+    sorter = ExternalSorter(disk, memory_bytes=16 * memory_records)
+    sorted_keys, sorted_values = sort_to_arrays(sorter, keys, values)
+    order = np.argsort(keys, kind="stable")
+    np.testing.assert_array_equal(sorted_keys, keys[order])
+    np.testing.assert_array_equal(sorted_values, values[order])

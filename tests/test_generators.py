@@ -1,0 +1,73 @@
+"""Tests for the dataset generators (the paper's three data sources)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.series import (
+    GENERATORS,
+    astronomy,
+    is_z_normalized,
+    make_dataset,
+    query_workload,
+    random_walk,
+    seismic,
+)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generators_shape_dtype_normalization(name):
+    data = make_dataset(name, 32, length=128, seed=7)
+    assert data.shape == (32, 128)
+    assert data.dtype == np.float32
+    assert is_z_normalized(data, tolerance=1e-2)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generators_deterministic_given_seed(name):
+    a = make_dataset(name, 8, length=64, seed=42)
+    b = make_dataset(name, 8, length=64, seed=42)
+    np.testing.assert_array_equal(a, b)
+    c = make_dataset(name, 8, length=64, seed=43)
+    assert not np.array_equal(a, c)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ValueError):
+        make_dataset("nope", 4)
+
+
+def test_random_walk_is_a_walk():
+    """Consecutive increments should be i.i.d.-ish, not the values."""
+    data = random_walk(50, length=256, seed=0).astype(np.float64)
+    values_autocorr = np.mean(
+        [np.corrcoef(row[:-1], row[1:])[0, 1] for row in data]
+    )
+    assert values_autocorr > 0.9  # walks are strongly autocorrelated
+
+
+def test_seismic_has_wave_packets():
+    """Seismic series should have heavier local energy bursts."""
+    data = seismic(40, length=256, seed=1).astype(np.float64)
+    # Kurtosis of burst-like data exceeds the Gaussian baseline.
+    walk = random_walk(40, length=256, seed=1).astype(np.float64)
+    assert np.mean(stats.kurtosis(data, axis=1)) > np.mean(
+        stats.kurtosis(walk, axis=1)
+    )
+
+
+def test_astronomy_is_skewed():
+    """Fig. 7: astronomy values are slightly skewed, others near 0."""
+    astro = astronomy(100, length=256, seed=2).astype(np.float64)
+    walk = random_walk(100, length=256, seed=2).astype(np.float64)
+    astro_skew = abs(stats.skew(astro.ravel()))
+    walk_skew = abs(stats.skew(walk.ravel()))
+    assert astro_skew > 0.2
+    assert astro_skew > walk_skew
+
+
+def test_query_workload_differs_from_dataset():
+    data = make_dataset("randomwalk", 16, length=64, seed=5)
+    queries = query_workload("randomwalk", 16, length=64, seed=5)
+    assert queries.shape == (16, 64)
+    assert not np.array_equal(data, queries)

@@ -1,0 +1,168 @@
+"""Cross-index integration tests.
+
+The correctness contract of the whole library: every index — the
+Coconut family, every baseline, and the LSM extension — answers exact
+queries identically to the serial-scan oracle on a shared dataset, and
+their reports obey basic conservation properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CoconutLSM, CoconutTree, CoconutTrie
+from repro.indexes import (
+    ADSIndex,
+    DSTree,
+    ISAX2Index,
+    RTreeIndex,
+    SerialScan,
+    VerticalIndex,
+)
+from repro.series import make_dataset, query_workload
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig
+
+N = 220
+LENGTH = 64
+CONFIG = SAXConfig(series_length=LENGTH, word_length=8, cardinality=16)
+
+
+def all_indexes(disk, memory):
+    return [
+        CoconutTree(disk, memory, config=CONFIG, leaf_size=32),
+        CoconutTree(disk, memory, config=CONFIG, leaf_size=32, materialized=True),
+        CoconutTrie(disk, memory, config=CONFIG, leaf_size=32),
+        CoconutTrie(disk, memory, config=CONFIG, leaf_size=32, materialized=True),
+        CoconutLSM(disk, memory, config=CONFIG),
+        ADSIndex(disk, memory, config=CONFIG, leaf_size=32, plus=True),
+        ADSIndex(disk, memory, config=CONFIG, leaf_size=32, plus=False),
+        ISAX2Index(disk, memory, config=CONFIG, leaf_size=32),
+        RTreeIndex(disk, memory, n_dimensions=8, leaf_size=32),
+        RTreeIndex(disk, memory, n_dimensions=8, leaf_size=32, materialized=False),
+        DSTree(disk, memory, leaf_size=32),
+        VerticalIndex(disk, memory),
+    ]
+
+
+@pytest.fixture(scope="module")
+def world():
+    disk = SimulatedDisk(page_size=2048)
+    data = make_dataset("randomwalk", N, length=LENGTH, seed=5)
+    raw = RawSeriesFile.create(disk, data)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(raw)
+    indexes = all_indexes(disk, 1 << 20)
+    for index in indexes:
+        index.build(raw)
+    queries = query_workload("randomwalk", 5, length=LENGTH, seed=5)
+    truths = [oracle.exact_search(q) for q in queries]
+    return indexes, queries, truths, disk, data
+
+
+def test_every_index_matches_oracle_exactly(world):
+    indexes, queries, truths, _, _ = world
+    for index in indexes:
+        for query, truth in zip(queries, truths):
+            got = index.exact_search(query)
+            assert got.distance == pytest.approx(
+                truth.distance, rel=1e-5
+            ), index.name
+
+
+def test_approximate_never_beats_exact(world):
+    indexes, queries, truths, _, _ = world
+    for index in indexes:
+        for query, truth in zip(queries, truths):
+            approx = index.approximate_search(query)
+            assert approx.distance >= truth.distance - 1e-6, index.name
+
+
+def test_approximate_answers_are_real_series(world):
+    indexes, queries, _, _, data = world
+    for index in indexes:
+        for query in queries:
+            approx = index.approximate_search(query)
+            assert 0 <= approx.answer_idx < N, index.name
+            true = float(
+                np.sqrt(
+                    ((data[approx.answer_idx].astype(np.float64)
+                      - query.astype(np.float64)) ** 2).sum()
+                )
+            )
+            assert approx.distance == pytest.approx(true, rel=1e-5), index.name
+
+
+def test_query_io_is_accounted(world):
+    indexes, queries, _, _, _ = world
+    for index in indexes:
+        result = index.exact_search(queries[0])
+        assert result.io.total_ios > 0, index.name
+        assert result.simulated_io_ms > 0, index.name
+
+
+def test_query_determinism(world):
+    indexes, queries, _, _, _ = world
+    for index in indexes:
+        first = index.exact_search(queries[1])
+        second = index.exact_search(queries[1])
+        assert first.answer_idx == second.answer_idx, index.name
+        assert first.distance == second.distance, index.name
+
+
+def test_storage_reports_are_positive(world):
+    indexes, _, _, _, _ = world
+    for index in indexes:
+        if isinstance(index, SerialScan):
+            continue
+        assert index.storage_bytes() > 0, index.name
+
+
+def test_indexed_series_found_at_zero_distance(world):
+    indexes, _, _, _, data = world
+    for index in indexes:
+        result = index.exact_search(data[100])
+        assert result.distance == pytest.approx(0.0, abs=1e-4), index.name
+
+
+def test_exact_on_duplicate_heavy_dataset():
+    """Many identical series: overflow leaves, ties — still exact."""
+    disk = SimulatedDisk(page_size=2048)
+    base = make_dataset("randomwalk", 4, length=LENGTH, seed=9)
+    data = np.vstack([np.tile(base[0], (60, 1)), base]).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(raw)
+    query = query_workload("randomwalk", 1, length=LENGTH, seed=9)[0]
+    want = oracle.exact_search(query).distance
+    for index in all_indexes(disk, 1 << 20):
+        index.build(raw)
+        got = index.exact_search(query)
+        assert got.distance == pytest.approx(want, rel=1e-5), index.name
+
+
+def test_single_series_dataset():
+    disk = SimulatedDisk(page_size=2048)
+    data = make_dataset("randomwalk", 1, length=LENGTH, seed=10)
+    raw = RawSeriesFile.create(disk, data)
+    for index in all_indexes(disk, 1 << 20):
+        index.build(raw)
+        result = index.exact_search(data[0])
+        assert result.answer_idx == 0, index.name
+        assert result.distance == pytest.approx(0.0, abs=1e-5), index.name
+
+
+def test_tight_memory_does_not_change_answers():
+    """I/O strategy must never affect correctness."""
+    disk = SimulatedDisk(page_size=2048)
+    data = make_dataset("seismic", 150, length=LENGTH, seed=11)
+    raw = RawSeriesFile.create(disk, data)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(raw)
+    query = query_workload("seismic", 1, length=LENGTH, seed=11)[0]
+    want = oracle.exact_search(query).distance
+    for memory in (1 << 20, 4096):
+        index = CoconutTree(disk, memory, config=CONFIG, leaf_size=16)
+        index.build(raw)
+        assert index.exact_search(query).distance == pytest.approx(
+            want, rel=1e-5
+        )

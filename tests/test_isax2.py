@@ -1,0 +1,122 @@
+"""Tests for the iSAX 2.0 baseline (top-down buffered construction)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import ISAX2Index, SerialScan
+from repro.series import random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+
+
+def build(n=400, materialized=True, leaf_size=32, memory=1 << 20, seed=0):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = ISAX2Index(
+        disk,
+        memory_bytes=memory,
+        config=CONFIG,
+        leaf_size=leaf_size,
+        materialized=materialized,
+    )
+    report = index.build(raw)
+    return disk, index, data, report
+
+
+def test_all_series_indexed_once():
+    _, index, _, _ = build(n=321)
+    offsets = []
+    for leaf in index.tree.leaves:
+        records = index.tree._leaf_records_in_memory(leaf)
+        offsets.extend(int(o) for o in records["off"])
+    assert sorted(offsets) == list(range(321))
+
+
+def test_leaves_respect_capacity_after_splits():
+    _, index, _, report = build(n=600, leaf_size=16)
+    assert report.extra["splits"] > 0
+    for leaf in index.tree.leaves:
+        assert leaf.count <= 16 or len(set(map(tuple, (
+            index.tree._leaf_records_in_memory(leaf)["w"]
+        )))) == 1
+
+
+def test_leaf_members_match_leaf_prefix():
+    _, index, _, _ = build(n=300, leaf_size=16)
+    for leaf in index.tree.leaves:
+        records = index.tree._leaf_records_in_memory(leaf)
+        for word in records["w"]:
+            assert leaf.prefix.matches(word, CONFIG)
+
+
+def test_topdown_construction_does_random_io():
+    """Sec. 3.1: tight memory makes construction random-I/O heavy."""
+    disk, _, _, _ = build(n=800, leaf_size=16, memory=4096)
+    assert disk.stats.random_writes > disk.stats.sequential_writes
+
+
+def test_prefix_leaves_scattered_across_disk():
+    """Split-time allocation scatters the leaf pages (non-contiguity)."""
+    _, index, _, _ = build(n=600, leaf_size=16)
+    pages = sorted(
+        leaf.first_page for leaf in index.tree.leaves if leaf.first_page >= 0
+    )
+    gaps = np.diff(pages)
+    assert (gaps > 1).any()
+
+
+def test_exact_search_matches_serial_scan():
+    disk, index, data, _ = build(n=300, seed=1)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    for query in random_walk(10, length=64, seed=42):
+        got = index.exact_search(query)
+        want = oracle.exact_search(query)
+        assert got.distance == pytest.approx(want.distance, rel=1e-6)
+
+
+def test_exact_search_nonmaterialized_matches():
+    disk, index, data, _ = build(n=250, materialized=False, seed=2)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    for query in random_walk(6, length=64, seed=43):
+        got = index.exact_search(query)
+        want = oracle.exact_search(query)
+        assert got.distance == pytest.approx(want.distance, rel=1e-6)
+
+
+def test_approximate_search_returns_plausible_answer():
+    _, index, data, _ = build(n=400, seed=3)
+    query = random_walk(1, length=64, seed=44)[0]
+    result = index.approximate_search(query)
+    assert 0 <= result.answer_idx < 400
+    assert np.isfinite(result.distance)
+
+
+def test_insert_batch_updates_answers():
+    disk, index, data, _ = build(n=200, seed=4)
+    extra = random_walk(50, length=64, seed=45)
+    index.insert_batch(extra)
+    index.tree.flush_all()
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    query = extra[7]
+    got = index.exact_search(query)
+    assert got.distance == pytest.approx(0.0, abs=1e-5)
+
+
+def test_low_fill_factor_of_prefix_splitting():
+    """Sec. 3.2 / 5.1: prefix-split leaves are sparsely populated."""
+    _, index, _, _ = build(n=1000, leaf_size=64, seed=5)
+    _, fill = index.leaf_stats()
+    assert fill < 0.75
+
+
+def test_storage_accounts_dead_pages():
+    disk, index, _, _ = build(n=600, leaf_size=16, seed=6)
+    assert index.storage_bytes() >= sum(
+        leaf.n_pages for leaf in index.tree.leaves
+    ) * disk.page_size

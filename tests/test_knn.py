@@ -1,0 +1,125 @@
+"""Tests for k-nearest-neighbor search (core.knn)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoconutTree
+from repro.core.knn import _BoundedMaxHeap, sims_knn_scan
+from repro.series import euclidean_batch, random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig, sax_words
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+
+
+def brute_force_knn(query, data, k):
+    distances = euclidean_batch(query, data.astype(np.float64))
+    order = np.argsort(distances, kind="stable")[:k]
+    return list(order), [float(distances[i]) for i in order]
+
+
+def build_index(n=400, seed=0, materialized=False):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutTree(
+        disk, memory_bytes=1 << 20, config=CONFIG, leaf_size=32,
+        materialized=materialized,
+    )
+    index.build(raw)
+    return index, data
+
+
+# ---------------------------------------------------------------- heap
+def test_heap_keeps_k_smallest():
+    heap = _BoundedMaxHeap(3)
+    for distance, identifier in [(5, 1), (2, 2), (9, 3), (1, 4), (3, 5)]:
+        heap.offer(distance, identifier)
+    items = heap.sorted_items()
+    assert [i for _, i in items] == [4, 2, 5]
+
+
+def test_heap_threshold_is_inf_until_full():
+    heap = _BoundedMaxHeap(2)
+    heap.offer(1.0, 1)
+    assert heap.threshold == float("inf")
+    heap.offer(2.0, 2)
+    assert heap.threshold == 2.0
+
+
+def test_heap_deduplicates_identifiers():
+    heap = _BoundedMaxHeap(2)
+    heap.offer(1.0, 7)
+    heap.offer(0.5, 7)
+    heap.offer(2.0, 8)
+    items = heap.sorted_items()
+    assert [i for _, i in items] == [7, 8]
+
+
+def test_heap_rejects_bad_k():
+    with pytest.raises(ValueError):
+        _BoundedMaxHeap(0)
+
+
+# ---------------------------------------------------------------- scan
+def test_sims_knn_scan_matches_brute_force():
+    rng = np.random.default_rng(0)
+    data = random_walk(200, length=64, seed=1)
+    words = sax_words(data, CONFIG)
+
+    def fetch(positions):
+        return data[positions].astype(np.float64), positions
+
+    query = random_walk(1, length=64, seed=2)[0]
+    for k in (1, 3, 10):
+        outcome = sims_knn_scan(query, k, words, CONFIG, fetch)
+        want_ids, want_dists = brute_force_knn(query, data, k)
+        np.testing.assert_allclose(outcome.distances, want_dists, rtol=1e-6)
+        assert set(outcome.answer_ids) == set(want_ids)
+
+
+def test_knn_distances_sorted_ascending():
+    data = random_walk(100, length=64, seed=3)
+    words = sax_words(data, CONFIG)
+    query = random_walk(1, length=64, seed=4)[0]
+    outcome = sims_knn_scan(
+        query, 5, words, CONFIG,
+        lambda p: (data[p].astype(np.float64), p),
+    )
+    assert outcome.distances == sorted(outcome.distances)
+
+
+# --------------------------------------------------------------- index
+@pytest.mark.parametrize("materialized", [False, True])
+def test_index_exact_knn_matches_brute_force(materialized):
+    index, data = build_index(n=300, seed=5, materialized=materialized)
+    query = random_walk(1, length=64, seed=6)[0]
+    for k in (1, 5):
+        outcome = index.exact_knn(query, k)
+        want_ids, want_dists = brute_force_knn(query, data, k)
+        np.testing.assert_allclose(outcome.distances, want_dists, rtol=1e-6)
+
+
+def test_index_knn_k1_equals_exact_search():
+    index, _ = build_index(n=250, seed=7)
+    query = random_walk(1, length=64, seed=8)[0]
+    knn = index.exact_knn(query, 1)
+    exact = index.exact_search(query)
+    assert knn.distances[0] == pytest.approx(exact.distance, rel=1e-9)
+    assert knn.answer_ids[0] == exact.answer_idx
+
+
+def test_index_knn_prunes_and_charges_io():
+    index, _ = build_index(n=600, seed=9)
+    query = random_walk(1, length=64, seed=10)[0]
+    outcome = index.exact_knn(query, 3)
+    assert outcome.pruned_fraction > 0.0
+    assert outcome.simulated_io_ms > 0.0
+
+
+def test_knn_with_k_exceeding_dataset():
+    index, data = build_index(n=20, seed=11)
+    query = random_walk(1, length=64, seed=12)[0]
+    outcome = index.exact_knn(query, 50)
+    assert len(outcome.answer_ids) == 20
+    assert outcome.distances == sorted(outcome.distances)

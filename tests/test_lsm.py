@@ -1,0 +1,143 @@
+"""Tests for Coconut-LSM (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoconutLSM, CoconutTree
+from repro.series import euclidean_batch, random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig
+
+CONFIG = SAXConfig(series_length=64, word_length=8, cardinality=16)
+
+
+def build_lsm(n=300, seed=0, memory=1 << 16, size_ratio=3):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = CoconutLSM(
+        disk, memory_bytes=memory, config=CONFIG, size_ratio=size_ratio
+    )
+    index.build(raw)
+    return disk, index, data
+
+
+def brute_force(query, data):
+    return float(
+        euclidean_batch(query.astype(np.float64), data.astype(np.float64)).min()
+    )
+
+
+def test_bulk_load_creates_single_run():
+    _, index, _ = build_lsm(n=200)
+    assert index.n_runs == 1
+
+
+def test_runs_are_sorted():
+    _, index, _ = build_lsm(n=200, seed=1)
+    for run in index._runs:
+        assert np.all(run.keys[:-1] <= run.keys[1:])
+
+
+def test_exact_search_matches_brute_force_after_build():
+    _, index, data = build_lsm(n=250, seed=2)
+    for query in random_walk(8, length=64, seed=42):
+        result = index.exact_search(query)
+        assert result.distance == pytest.approx(brute_force(query, data), rel=1e-6)
+
+
+def test_inserts_then_exact_search_sees_everything():
+    _, index, data = build_lsm(n=128, seed=3, memory=64 * 24 * 2)
+    batches = [random_walk(40, length=64, seed=s) for s in (4, 5, 6)]
+    for batch in batches:
+        index.insert_batch(batch)
+    all_data = np.vstack([data] + batches)
+    for query in random_walk(6, length=64, seed=43):
+        result = index.exact_search(query)
+        assert result.distance == pytest.approx(
+            brute_force(query, all_data), rel=1e-6
+        )
+
+
+def test_query_on_freshly_inserted_series_finds_it():
+    """Memtable contents must be visible before any flush."""
+    _, index, _ = build_lsm(n=100, seed=7, memory=1 << 20)
+    fresh = random_walk(5, length=64, seed=8)
+    index.insert_batch(fresh)
+    assert index._mem_records == 5  # still buffered
+    result = index.exact_search(fresh[2])
+    assert result.distance == pytest.approx(0.0, abs=1e-5)
+
+
+def test_memtable_flushes_when_full():
+    _, index, _ = build_lsm(n=64, seed=9, memory=32 * 24 * 2)
+    for s in range(4):
+        index.insert_batch(random_walk(20, length=64, seed=10 + s))
+    assert index.n_flushes >= 1
+    assert index._mem_records < 80
+
+
+def test_tiering_compaction_bounds_run_count():
+    _, index, _ = build_lsm(n=64, seed=11, memory=16 * 24 * 2, size_ratio=2)
+    for s in range(12):
+        index.insert_batch(random_walk(16, length=64, seed=20 + s))
+    # With T=2 compaction, runs grow logarithmically, not linearly.
+    assert index.n_merges >= 1
+    assert index.n_runs < 12
+
+
+def test_compaction_io_is_sequential():
+    disk, index, _ = build_lsm(n=64, seed=12, memory=16 * 24 * 2, size_ratio=2)
+    disk.reset_stats()
+    for s in range(8):
+        index.insert_batch(random_walk(16, length=64, seed=40 + s))
+    stats = disk.stats
+    assert stats.sequential_writes > stats.random_writes
+
+
+def test_small_batch_inserts_cheaper_than_ctree_merges():
+    """The future-work hypothesis: LSM absorbs trickles cheaply."""
+    def total_insert_cost(index_cls):
+        disk = SimulatedDisk(page_size=2048)
+        data = random_walk(256, length=64, seed=13)
+        raw = RawSeriesFile.create(disk, data)
+        if index_cls is CoconutLSM:
+            index = CoconutLSM(disk, memory_bytes=1 << 13, config=CONFIG)
+        else:
+            index = CoconutTree(
+                disk, memory_bytes=1 << 13, config=CONFIG, leaf_size=32
+            )
+        index.build(raw)
+        cost = 0.0
+        for s in range(10):
+            batch = random_walk(16, length=64, seed=50 + s)
+            cost += index.insert_batch(batch).simulated_io_ms
+        return cost
+
+    assert total_insert_cost(CoconutLSM) < total_insert_cost(CoconutTree)
+
+
+def test_approximate_search_probes_all_runs():
+    _, index, data = build_lsm(n=128, seed=14, memory=32 * 24 * 2)
+    for s in range(3):
+        index.insert_batch(random_walk(32, length=64, seed=60 + s))
+    query = random_walk(1, length=64, seed=70)[0]
+    result = index.approximate_search(query)
+    assert result.visited_leaves == index.n_runs
+    assert result.answer_idx >= 0
+
+
+def test_constructor_validation():
+    disk = SimulatedDisk()
+    with pytest.raises(ValueError):
+        CoconutLSM(disk, memory_bytes=1024, size_ratio=1)
+    with pytest.raises(ValueError):
+        CoconutLSM(disk, memory_bytes=0)
+
+
+def test_storage_accounts_all_runs():
+    disk, index, _ = build_lsm(n=128, seed=15, memory=32 * 24 * 2)
+    before = index.storage_bytes()
+    for s in range(4):
+        index.insert_batch(random_walk(32, length=64, seed=80 + s))
+    assert index.storage_bytes() >= before

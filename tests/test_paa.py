@@ -1,0 +1,80 @@
+"""Tests for PAA summarization and its lower bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.series import euclidean, z_normalize
+from repro.summaries import paa, paa_lower_bound, reconstruct, segment_boundaries
+
+
+def test_segment_boundaries_even():
+    np.testing.assert_array_equal(
+        segment_boundaries(8, 4), [0, 2, 4, 6, 8]
+    )
+
+
+def test_segment_boundaries_uneven():
+    bounds = segment_boundaries(10, 4)
+    assert bounds[0] == 0 and bounds[-1] == 10
+    sizes = np.diff(bounds)
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_segment_boundaries_validation():
+    with pytest.raises(ValueError):
+        segment_boundaries(4, 0)
+    with pytest.raises(ValueError):
+        segment_boundaries(2, 4)
+
+
+def test_paa_known_values():
+    series = np.array([1.0, 1.0, 3.0, 3.0, 5.0, 5.0, 7.0, 7.0])
+    np.testing.assert_allclose(paa(series, 4)[0], [1.0, 3.0, 5.0, 7.0])
+
+
+def test_paa_whole_series_is_mean():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((5, 32))
+    np.testing.assert_allclose(paa(data, 1).ravel(), data.mean(axis=1))
+
+
+def test_paa_full_resolution_is_identity():
+    rng = np.random.default_rng(1)
+    data = rng.standard_normal((3, 16))
+    np.testing.assert_allclose(paa(data, 16), data)
+
+
+def test_paa_lower_bound_holds():
+    rng = np.random.default_rng(2)
+    data = z_normalize(rng.standard_normal((20, 64)))
+    query = z_normalize(rng.standard_normal(64))
+    q_paa = paa(query, 8)[0]
+    c_paa = paa(data, 8)
+    bounds = paa_lower_bound(q_paa, c_paa, 64)
+    for i in range(20):
+        assert bounds[i] <= euclidean(query, data[i]) + 1e-9
+
+
+def test_reconstruct_step_function():
+    values = np.array([[2.0, -1.0]])
+    out = reconstruct(values, 6)
+    np.testing.assert_array_equal(out[0], [2.0, 2.0, 2.0, -1.0, -1.0, -1.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_segments=st.sampled_from([2, 4, 8, 16]),
+    length=st.sampled_from([32, 48, 64]),
+)
+def test_property_paa_lower_bound(seed, n_segments, length):
+    """PAA distance never exceeds true ED, for any segmentation."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(length)
+    b = rng.standard_normal(length)
+    bound = paa_lower_bound(
+        paa(a, n_segments)[0], paa(b, n_segments), length
+    )[0]
+    assert bound <= euclidean(a, b) + 1e-9

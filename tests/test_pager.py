@@ -1,0 +1,92 @@
+"""Tests for paged files and extent bookkeeping."""
+
+import pytest
+
+from repro.storage import PagedFile, PageError, SimulatedDisk
+
+
+def test_single_allocation_is_one_extent():
+    disk = SimulatedDisk()
+    file = PagedFile(disk, n_pages=10)
+    assert file.n_extents == 1
+    assert file.n_pages == 10
+
+
+def test_incremental_growth_without_interference_merges_extents():
+    disk = SimulatedDisk()
+    file = PagedFile(disk)
+    file.grow(2)
+    file.grow(3)
+    assert file.n_extents == 1
+    assert file.n_pages == 5
+
+
+def test_interleaved_growth_fragments_files():
+    """Two files grown alternately scatter each other's extents."""
+    disk = SimulatedDisk()
+    a = PagedFile(disk)
+    b = PagedFile(disk)
+    for _ in range(3):
+        a.grow(1)
+        b.grow(1)
+    assert a.n_extents == 3
+    assert b.n_extents == 3
+
+
+def test_logical_to_physical_mapping_across_extents():
+    disk = SimulatedDisk()
+    a = PagedFile(disk)
+    a.grow(2)  # physical 0, 1
+    PagedFile(disk, n_pages=3)  # physical 2..4 (interloper)
+    a.grow(2)  # physical 5, 6
+    assert [a.physical_page(i) for i in range(4)] == [0, 1, 5, 6]
+
+
+def test_out_of_range_access_fails():
+    disk = SimulatedDisk()
+    file = PagedFile(disk, n_pages=2)
+    with pytest.raises(PageError):
+        file.read(2)
+    with pytest.raises(PageError):
+        file.physical_page(-1)
+
+
+def test_contiguous_file_io_is_sequential():
+    disk = SimulatedDisk()
+    file = PagedFile(disk, n_pages=5)
+    for i in range(5):
+        file.write(i, b"x")
+    assert disk.stats.sequential_writes == 4
+    assert disk.stats.random_writes == 1
+
+
+def test_fragmented_file_io_pays_random_accesses():
+    disk = SimulatedDisk()
+    a = PagedFile(disk)
+    b = PagedFile(disk)
+    for _ in range(4):
+        a.grow(1)
+        b.grow(1)
+    for i in range(4):
+        a.write(i, b"x")
+    # Every logical page of `a` lives in its own extent: all seeks.
+    assert disk.stats.random_writes == 4
+
+
+def test_write_stream_spans_pages_and_reads_back():
+    disk = SimulatedDisk(page_size=8)
+    file = PagedFile(disk)
+    payload = bytes(range(20))
+    n_pages = file.write_stream(payload)
+    assert n_pages == 3
+    restored = file.read_stream(0, 3)
+    assert restored[:20] == payload
+    assert len(restored) == 24  # padded to whole pages
+
+
+def test_append_page():
+    disk = SimulatedDisk()
+    file = PagedFile(disk)
+    idx = file.append_page(b"abc")
+    assert idx == 0
+    assert file.read(0) == b"abc"

@@ -1,0 +1,142 @@
+"""Property-based tests on Coconut index invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoconutTree, CoconutTrie
+from repro.series import euclidean_batch, random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import SAXConfig
+
+CONFIG = SAXConfig(series_length=32, word_length=4, cardinality=16)
+
+
+def make_world(n, seed, leaf_size, materialized=False, trie=False,
+               fill_factor=1.0):
+    disk = SimulatedDisk(page_size=1024)
+    data = random_walk(n, length=32, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    if trie:
+        index = CoconutTrie(
+            disk, memory_bytes=1 << 20, config=CONFIG, leaf_size=leaf_size,
+            materialized=materialized,
+        )
+    else:
+        index = CoconutTree(
+            disk, memory_bytes=1 << 20, config=CONFIG, leaf_size=leaf_size,
+            materialized=materialized, fill_factor=fill_factor,
+        )
+    index.build(raw)
+    return index, data
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 120),
+    seed=st.integers(0, 2**16),
+    leaf_size=st.integers(2, 40),
+    trie=st.booleans(),
+)
+def test_property_every_record_indexed_once(n, seed, leaf_size, trie):
+    index, _ = make_world(n, seed, leaf_size, trie=trie)
+    offsets = []
+    for leaf in index._leaves:
+        offsets.extend(int(o) for o in index._read_leaf_records(leaf)["off"])
+    assert sorted(offsets) == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(5, 100),
+    seed=st.integers(0, 2**16),
+    leaf_size=st.integers(4, 32),
+)
+def test_property_exact_search_equals_brute_force(n, seed, leaf_size):
+    index, data = make_world(n, seed, leaf_size)
+    query = random_walk(1, length=32, seed=seed + 1)[0]
+    result = index.exact_search(query)
+    true = euclidean_batch(query.astype(np.float64), data.astype(np.float64))
+    assert result.distance == pytest.approx(float(true.min()), rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(10, 80),
+    seed=st.integers(0, 2**16),
+    batch=st.integers(1, 40),
+)
+def test_property_insert_batch_preserves_exactness(n, seed, batch):
+    index, data = make_world(n, seed, leaf_size=8)
+    extra = random_walk(batch, length=32, seed=seed + 7)
+    index.insert_batch(extra)
+    all_data = np.vstack([data, extra])
+    query = random_walk(1, length=32, seed=seed + 13)[0]
+    result = index.exact_search(query)
+    true = euclidean_batch(
+        query.astype(np.float64), all_data.astype(np.float64)
+    )
+    assert result.distance == pytest.approx(float(true.min()), rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(20, 120),
+    seed=st.integers(0, 2**16),
+    fill=st.sampled_from([0.5, 0.75, 1.0]),
+)
+def test_property_fill_factor_bounds_leaf_occupancy(n, seed, fill):
+    index, _ = make_world(n, seed, leaf_size=16, fill_factor=fill)
+    target = index.target_leaf_records
+    for leaf in index._leaves[:-1]:  # the last leaf may be a remainder
+        assert leaf.count == target
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(5, 100), seed=st.integers(0, 2**16))
+def test_property_leaf_keys_globally_sorted(n, seed):
+    index, _ = make_world(n, seed, leaf_size=8)
+    previous = b""
+    for leaf in index._leaves:
+        records = index._read_leaf_records(leaf)
+        keys = [
+            bytes(k).ljust(CONFIG.key_bytes, b"\x00") for k in records["k"]
+        ]
+        assert keys == sorted(keys)
+        if keys:
+            assert previous <= keys[0]
+            previous = keys[-1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(10, 80),
+    seed=st.integers(0, 2**16),
+    radius=st.integers(1, 6),
+)
+def test_property_wider_radius_never_hurts_quality(n, seed, radius):
+    index, _ = make_world(n, seed, leaf_size=8)
+    query = random_walk(1, length=32, seed=seed + 3)[0]
+    narrow = index.approximate_search(query, radius_leaves=radius)
+    wide = index.approximate_search(query, radius_leaves=radius + 3)
+    assert wide.distance <= narrow.distance + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(5, 60), seed=st.integers(0, 2**16))
+def test_property_trie_leaves_are_prefix_regions(n, seed):
+    index, _ = make_world(n, seed, leaf_size=6, trie=True)
+    for leaf in index._leaves:
+        records = index._read_leaf_records(leaf)
+        if leaf.prefix_bits == 0 or len(records) == 0:
+            continue
+        shift = CONFIG.key_bits - leaf.prefix_bits
+        prefixes = {
+            int.from_bytes(
+                bytes(k).ljust(CONFIG.key_bytes, b"\x00"), "big"
+            )
+            >> shift
+            for k in records["k"]
+        }
+        assert len(prefixes) == 1

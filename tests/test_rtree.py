@@ -1,0 +1,88 @@
+"""Tests for the STR-packed R-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import RTreeIndex, SerialScan
+from repro.series import random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+from repro.summaries import paa
+
+
+def build(n=300, materialized=True, leaf_size=32, seed=0, dims=8):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = RTreeIndex(
+        disk,
+        memory_bytes=1 << 20,
+        n_dimensions=dims,
+        leaf_size=leaf_size,
+        materialized=materialized,
+    )
+    report = index.build(raw)
+    return disk, index, data, report
+
+
+def test_all_series_in_leaves():
+    _, index, _, _ = build(n=277)
+    offsets = []
+    for leaf in index._leaves:
+        offsets.extend(int(o) for o in index._read_leaf(leaf)["off"])
+    assert sorted(offsets) == list(range(277))
+
+
+def test_mbrs_contain_their_points():
+    _, index, data, _ = build(n=300)
+    points = paa(data.astype(np.float64), 8)
+    for leaf in index._leaves:
+        records = index._read_leaf(leaf)
+        for row in records:
+            assert np.all(row["p"] >= leaf.low - 1e-9)
+            assert np.all(row["p"] <= leaf.high + 1e-9)
+
+
+def test_str_sorts_once_per_level():
+    """STR's repeated sorting is the O(N*D) cost the paper analyzes."""
+    _, index, _, report = build(n=600, leaf_size=16)
+    assert report.extra["sort_passes"] > 1
+
+
+def test_leaf_fill_is_high_for_str():
+    """STR packs leaves fully (it is a bulk loader)."""
+    _, index, _, _ = build(n=512, leaf_size=32)
+    _, fill = index.leaf_stats()
+    assert fill > 0.9
+
+
+@pytest.mark.parametrize("materialized", [True, False])
+def test_exact_search_matches_serial_scan(materialized):
+    disk, index, data, _ = build(n=300, materialized=materialized, seed=1)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    for query in random_walk(10, length=64, seed=42):
+        got = index.exact_search(query)
+        want = oracle.exact_search(query)
+        assert got.distance == pytest.approx(want.distance, rel=1e-6)
+
+
+def test_exact_search_prunes():
+    _, index, _, _ = build(n=900, seed=2)
+    query = random_walk(1, length=64, seed=50)[0]
+    result = index.exact_search(query)
+    assert result.pruned_fraction > 0.0
+
+
+def test_approximate_search_single_leaf():
+    _, index, _, _ = build(n=400, seed=3)
+    query = random_walk(1, length=64, seed=51)[0]
+    result = index.approximate_search(query)
+    assert result.visited_leaves == 1
+    assert 0 <= result.answer_idx < 400
+
+
+def test_root_mbr_covers_everything():
+    _, index, data, _ = build(n=200, seed=4)
+    points = paa(data.astype(np.float64), 8)
+    assert np.all(points >= index.root.low[None, :] - 1e-9)
+    assert np.all(points <= index.root.high[None, :] + 1e-9)

@@ -1,0 +1,145 @@
+"""Tests for SAX symbols, breakpoints and mindist bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.series import euclidean, random_walk, z_normalize
+from repro.summaries import (
+    SAXConfig,
+    breakpoints,
+    extended_breakpoints,
+    mindist_paa_to_words,
+    mindist_words,
+    paa,
+    sax_from_paa,
+    sax_words,
+    symbol_bounds,
+    word_to_text,
+)
+
+
+def test_breakpoints_count_and_monotonicity():
+    for cardinality in (2, 4, 8, 256):
+        bps = breakpoints(cardinality)
+        assert len(bps) == cardinality - 1
+        assert np.all(np.diff(bps) > 0)
+
+
+def test_breakpoints_are_standard_normal_quantiles():
+    bps = breakpoints(4)
+    np.testing.assert_allclose(bps[1], 0.0, atol=1e-12)
+    np.testing.assert_allclose(bps[0], -bps[2], atol=1e-12)
+
+
+def test_breakpoints_validation():
+    with pytest.raises(ValueError):
+        breakpoints(3)
+    with pytest.raises(ValueError):
+        breakpoints(1)
+
+
+def test_extended_breakpoints_sentinels():
+    ext = extended_breakpoints(8)
+    assert ext[0] == -np.inf and ext[-1] == np.inf
+    assert len(ext) == 9
+
+
+def test_sax_from_paa_quantization():
+    # Cardinality 4: regions split at (-0.6745, 0, 0.6745).
+    symbols = sax_from_paa(np.array([-2.0, -0.3, 0.3, 2.0]), 4)
+    np.testing.assert_array_equal(symbols, [0, 1, 2, 3])
+
+
+def test_sax_config_validation():
+    with pytest.raises(ValueError):
+        SAXConfig(cardinality=3)
+    with pytest.raises(ValueError):
+        SAXConfig(word_length=0)
+    with pytest.raises(ValueError):
+        SAXConfig(series_length=8, word_length=16)
+
+
+def test_sax_config_derived_sizes():
+    config = SAXConfig(series_length=256, word_length=16, cardinality=256)
+    assert config.bits_per_symbol == 8
+    assert config.key_bits == 128
+    assert config.key_bytes == 16
+    assert config.key_dtype == np.dtype("S16")
+
+
+def test_sax_words_shape_and_range():
+    config = SAXConfig(series_length=64, word_length=8, cardinality=16)
+    data = random_walk(10, length=64, seed=0)
+    words = sax_words(data, config)
+    assert words.shape == (10, 8)
+    assert words.max() < 16
+
+
+def test_sax_words_rejects_wrong_length():
+    config = SAXConfig(series_length=64, word_length=8)
+    with pytest.raises(ValueError):
+        sax_words(np.zeros((2, 32)), config)
+
+
+def test_symbol_bounds_bracket_paa_values():
+    config = SAXConfig(series_length=64, word_length=8, cardinality=32)
+    data = random_walk(20, length=64, seed=1)
+    values = paa(data, 8)
+    words = sax_from_paa(values, 32)
+    lower, upper = symbol_bounds(words, 32)
+    assert np.all(values <= upper)
+    assert np.all(values >= lower)
+
+
+def test_mindist_paa_to_words_is_lower_bound():
+    config = SAXConfig(series_length=128, word_length=16, cardinality=64)
+    data = random_walk(50, length=128, seed=2)
+    query = random_walk(1, length=128, seed=99)[0]
+    words = sax_words(data, config)
+    bounds = mindist_paa_to_words(paa(query, 16)[0], words, config)
+    for i in range(50):
+        assert bounds[i] <= euclidean(query, data[i]) + 1e-6
+
+
+def test_mindist_zero_for_same_region():
+    config = SAXConfig(series_length=32, word_length=4, cardinality=8)
+    series = z_normalize(np.sin(np.linspace(0, 6, 32)))
+    word = sax_words(series, config)
+    bound = mindist_paa_to_words(paa(series, 4)[0], word, config)
+    assert bound[0] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_mindist_words_symmetric_lower_bound():
+    config = SAXConfig(series_length=64, word_length=8, cardinality=16)
+    data = random_walk(12, length=64, seed=3)
+    words = sax_words(data, config)
+    for i in range(0, 12, 3):
+        for j in range(0, 12, 4):
+            d_ij = mindist_words(words[i], words[j], config)
+            d_ji = mindist_words(words[j], words[i], config)
+            assert d_ij == pytest.approx(d_ji)
+            true = euclidean(data[i].astype(float), data[j].astype(float))
+            assert d_ij <= true + 1e-6
+
+
+def test_word_to_text_example():
+    assert word_to_text(np.array([5, 2, 5, 3]), 8) == "fcfd"
+
+
+def test_word_to_text_rejects_high_cardinality():
+    with pytest.raises(ValueError):
+        word_to_text(np.array([0]), 256)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), cardinality=st.sampled_from([4, 16, 256]))
+def test_property_sax_mindist_lower_bounds_euclidean(seed, cardinality):
+    config = SAXConfig(series_length=64, word_length=8, cardinality=cardinality)
+    rng = np.random.default_rng(seed)
+    data = z_normalize(rng.standard_normal((8, 64)))
+    query = z_normalize(rng.standard_normal(64))
+    bounds = mindist_paa_to_words(paa(query, 8)[0], sax_words(data, config), config)
+    true = [euclidean(query, row) for row in data]
+    assert np.all(bounds <= np.array(true) + 1e-6)

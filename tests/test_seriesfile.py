@@ -1,0 +1,122 @@
+"""Tests for the raw data series file."""
+
+import numpy as np
+import pytest
+
+from repro.storage import BufferPool, RawSeriesFile, SimulatedDisk
+
+
+def make_raw(n=50, length=32, page_size=512, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, length)).astype(np.float32)
+    disk = SimulatedDisk(page_size=page_size)
+    raw = RawSeriesFile.create(disk, data)
+    return disk, raw, data
+
+
+def test_roundtrip_single_series():
+    _, raw, data = make_raw()
+    for idx in (0, 17, 49):
+        np.testing.assert_array_equal(raw.get(idx), data[idx])
+
+
+def test_get_out_of_range():
+    _, raw, _ = make_raw(n=5)
+    with pytest.raises(IndexError):
+        raw.get(5)
+    with pytest.raises(IndexError):
+        raw.get(-1)
+
+
+def test_create_requires_2d():
+    disk = SimulatedDisk()
+    with pytest.raises(ValueError):
+        RawSeriesFile.create(disk, np.zeros((2, 3, 4), dtype=np.float32))
+
+
+def test_initial_write_is_sequential():
+    disk, raw, _ = make_raw(n=200, length=32, page_size=512)
+    stats = disk.stats
+    assert stats.random_writes == 1  # first page seek only
+    assert stats.sequential_writes == raw.file.n_pages - 1
+
+
+def test_scan_returns_all_series_in_order():
+    disk, raw, data = make_raw(n=77, length=16, page_size=256)
+    disk.reset_stats()
+    seen = []
+    for start, block in raw.scan():
+        assert start == sum(len(b) for b in seen)
+        seen.append(block)
+    restored = np.concatenate(seen)
+    np.testing.assert_array_equal(restored, data)
+    # A scan is one seek plus streaming reads.
+    assert disk.stats.random_reads == 1
+
+
+def test_get_many_skip_sequential_visits_each_page_once():
+    disk, raw, data = make_raw(n=100, length=32, page_size=512)
+    spp = raw.series_per_page
+    idxs = np.array([0, 1, spp * 3, spp * 3 + 1, 2])
+    disk.reset_stats()
+    disk.park_head()
+    result = raw.get_many(idxs)
+    np.testing.assert_array_equal(result, data[idxs])
+    # Pages: page 0 (series 0, 1, 2), page 3 — two distinct pages.
+    assert disk.stats.total_reads == 2
+
+
+def test_get_many_preserves_request_order():
+    _, raw, data = make_raw(n=30)
+    idxs = np.array([20, 3, 15, 3])
+    result = raw.get_many(idxs)
+    np.testing.assert_array_equal(result, data[idxs])
+
+
+def test_append_batch_extends_file():
+    disk, raw, data = make_raw(n=10, length=16, page_size=256)
+    rng = np.random.default_rng(1)
+    extra = rng.standard_normal((7, 16)).astype(np.float32)
+    first = raw.append_batch(extra)
+    assert first == 10
+    assert len(raw) == 17
+    np.testing.assert_array_equal(raw.get(12), extra[2])
+    np.testing.assert_array_equal(raw.get(3), data[3])
+
+
+def test_append_batch_validates_length():
+    _, raw, _ = make_raw(length=16)
+    with pytest.raises(ValueError):
+        raw.append_batch(np.zeros((2, 8), dtype=np.float32))
+
+
+def test_long_series_span_multiple_pages():
+    rng = np.random.default_rng(2)
+    data = rng.standard_normal((5, 64)).astype(np.float32)  # 256 bytes each
+    disk = SimulatedDisk(page_size=128)
+    raw = RawSeriesFile.create(disk, data)
+    assert raw.pages_per_series == 2
+    for idx in range(5):
+        np.testing.assert_array_equal(raw.get(idx), data[idx])
+
+
+def test_scan_with_multipage_series():
+    rng = np.random.default_rng(3)
+    data = rng.standard_normal((9, 64)).astype(np.float32)
+    disk = SimulatedDisk(page_size=128)
+    raw = RawSeriesFile.create(disk, data)
+    blocks = [block for _, block in raw.scan(chunk_series=4)]
+    np.testing.assert_array_equal(np.concatenate(blocks), data)
+
+
+def test_buffer_pool_attachment_caches_reads():
+    disk, raw, _ = make_raw(n=20, length=16, page_size=256)
+    pool = BufferPool(disk, capacity_pages=8)
+    raw.attach_pool(pool)
+    raw.get(0)
+    disk.reset_stats()
+    raw.get(0)
+    assert disk.stats.total_reads == 0
+    raw.attach_pool(None)
+    raw.get(0)
+    assert disk.stats.total_reads == 1

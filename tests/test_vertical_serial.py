@@ -1,0 +1,96 @@
+"""Tests for the Vertical baseline and the serial-scan oracle."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import SerialScan, VerticalIndex
+from repro.series import euclidean_batch, random_walk
+from repro.storage import RawSeriesFile, SimulatedDisk
+
+
+def build_vertical(n=300, seed=0, seed_level=4):
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(n, length=64, seed=seed)
+    raw = RawSeriesFile.create(disk, data)
+    index = VerticalIndex(disk, memory_bytes=1 << 20, seed_level=seed_level)
+    report = index.build(raw)
+    return disk, index, data, report
+
+
+def test_level_files_cover_all_coefficients():
+    _, index, data, report = build_vertical(n=100)
+    assert report.extra["levels"] == 7  # log2(64) + 1
+    total_columns = sum(rb // 4 for rb in index._level_row_bytes)
+    assert total_columns == 64
+
+
+def test_build_makes_one_pass_per_level():
+    disk, _, _, report = build_vertical(n=200)
+    # At least `levels` sequential passes over the raw file happened.
+    assert report.io.sequential_reads > 0
+    assert report.simulated_io_ms > 0
+
+
+def test_exact_search_matches_serial_scan():
+    disk, index, data, _ = build_vertical(n=300, seed=1)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(index.raw)
+    for query in random_walk(10, length=64, seed=42):
+        got = index.exact_search(query)
+        want = oracle.exact_search(query)
+        assert got.distance == pytest.approx(want.distance, rel=1e-5)
+
+
+def test_stepwise_pruning_drops_candidates():
+    _, index, _, _ = build_vertical(n=800, seed=2)
+    query = random_walk(1, length=64, seed=50)[0]
+    result = index.exact_search(query)
+    assert result.pruned_fraction > 0.0
+
+
+def test_approximate_search_reasonable():
+    _, index, data, _ = build_vertical(n=300, seed=3)
+    query = random_walk(1, length=64, seed=51)[0]
+    result = index.approximate_search(query)
+    true = euclidean_batch(query.astype(np.float64), data.astype(np.float64))
+    assert result.distance >= true.min() - 1e-9
+    # The stepwise seed should be in the better half of the dataset.
+    assert result.distance <= np.median(true)
+
+
+def test_vertical_index_size_close_to_data_size():
+    """The full Haar transform is an invertible copy of the data."""
+    disk, index, data, _ = build_vertical(n=256, seed=4)
+    data_bytes = data.nbytes
+    assert index.storage_bytes() == pytest.approx(data_bytes, rel=0.5)
+
+
+def test_seed_level_validation():
+    with pytest.raises(ValueError):
+        VerticalIndex(SimulatedDisk(), memory_bytes=1024, seed_level=0)
+
+
+# ---------------------------------------------------------------- serial
+def test_serial_scan_is_ground_truth():
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(200, length=64, seed=5)
+    raw = RawSeriesFile.create(disk, data)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(raw)
+    query = random_walk(1, length=64, seed=52)[0]
+    result = oracle.exact_search(query)
+    true = euclidean_batch(query.astype(np.float64), data.astype(np.float64))
+    assert result.distance == pytest.approx(float(true.min()))
+    assert result.answer_idx == int(np.argmin(true))
+    assert result.visited_records == 200
+
+
+def test_serial_scan_io_is_sequential():
+    disk = SimulatedDisk(page_size=2048)
+    data = random_walk(400, length=64, seed=6)
+    raw = RawSeriesFile.create(disk, data)
+    oracle = SerialScan(disk, memory_bytes=1024)
+    oracle.build(raw)
+    disk.reset_stats()
+    oracle.exact_search(random_walk(1, length=64, seed=53)[0])
+    assert disk.stats.sequential_reads > disk.stats.random_reads

@@ -1,0 +1,44 @@
+"""Tests for sliding-window extraction."""
+
+import numpy as np
+import pytest
+
+from repro.series import is_z_normalized, sliding_windows, window_count
+
+
+def test_window_count_formula():
+    assert window_count(100, 10, step=1) == 91
+    assert window_count(100, 10, step=4) == 23
+    assert window_count(9, 10) == 0
+
+
+def test_windows_match_manual_slices():
+    signal = np.arange(20, dtype=float)
+    windows = sliding_windows(signal, 5, step=3, normalize=False)
+    assert windows.shape == (6, 5)
+    np.testing.assert_array_equal(windows[0], signal[0:5])
+    np.testing.assert_array_equal(windows[1], signal[3:8])
+    np.testing.assert_array_equal(windows[5], signal[15:20])
+
+
+def test_windows_are_normalized_by_default():
+    rng = np.random.default_rng(0)
+    signal = rng.standard_normal(500) * 10 + 5
+    windows = sliding_windows(signal, 64, step=16)
+    assert is_z_normalized(windows, tolerance=1e-2)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        sliding_windows(np.zeros(10), 0)
+    with pytest.raises(ValueError):
+        sliding_windows(np.zeros(10), 4, step=0)
+    with pytest.raises(ValueError):
+        sliding_windows(np.zeros(3), 4)
+
+
+def test_windows_are_writable_copies():
+    signal = np.arange(12, dtype=float)
+    windows = sliding_windows(signal, 4, normalize=False)
+    windows[0, 0] = 99.0
+    assert signal[0] == 0.0
