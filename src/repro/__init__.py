@@ -32,14 +32,21 @@ from .core import (
 )
 from .indexes import (
     ADSIndex,
+    BatchReport,
     BuildReport,
     DSTree,
     ISAX2Index,
+    QueryBatch,
     QueryResult,
     RTreeIndex,
     SerialScan,
     SeriesIndex,
     VerticalIndex,
+)
+from .parallel import (
+    ParallelSummarizer,
+    batched_exact_knn,
+    parallel_invsax_keys,
 )
 from .series import (
     astronomy,
@@ -67,6 +74,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ADSIndex",
+    "BatchReport",
     "BufferPool",
     "BuildReport",
     "CoconutTree",
@@ -77,6 +85,8 @@ __all__ = [
     "ExternalSorter",
     "ISAX2Index",
     "PagedFile",
+    "ParallelSummarizer",
+    "QueryBatch",
     "QueryResult",
     "RTreeIndex",
     "RawSeriesFile",
@@ -86,12 +96,14 @@ __all__ = [
     "SimulatedDisk",
     "VerticalIndex",
     "astronomy",
+    "batched_exact_knn",
     "deinterleave_keys",
     "dtw",
     "euclidean",
     "interleave_words",
     "invsax_keys",
     "make_dataset",
+    "parallel_invsax_keys",
     "query_key",
     "query_workload",
     "random_walk",

@@ -9,9 +9,11 @@ from .harness import (
     Environment,
     default_config,
     make_environment,
+    run_batch_query_experiment,
     run_build_sweep,
     run_complete_workload,
     run_length_sweep,
+    run_parallel_build_sweep,
     run_query_experiment,
     run_scaling_sweep,
     run_update_workload,
@@ -33,9 +35,11 @@ __all__ = [
     "make_environment",
     "mixed_workload",
     "print_experiment",
+    "run_batch_query_experiment",
     "run_build_sweep",
     "run_complete_workload",
     "run_length_sweep",
+    "run_parallel_build_sweep",
     "run_query_experiment",
     "run_scaling_sweep",
     "run_update_workload",

@@ -8,9 +8,19 @@ Examples::
 
     python -m repro.bench build --group secondary --n 20000
     python -m repro.bench build --group materialized --memory 1.0 0.1
+    python -m repro.bench build --group secondary --workers 4
     python -m repro.bench query --mode exact --dataset seismic
+    python -m repro.bench query --batch --k 5 --indexes CTree Serial
+    python -m repro.bench parallel --index CTreeFull --workers 1 2 4
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
+
+Choosing ``--workers``: worker processes pay a per-chunk transfer
+cost, so parallel building pays off once the dataset has at least a
+few tens of thousands of series; use one worker per physical core.
+``--batch`` answers the whole query workload in one shared pass —
+always at least as good as per-query on I/O, and most effective on
+exact search where the summary scan dominates.
 """
 
 from __future__ import annotations
@@ -20,7 +30,9 @@ import argparse
 from .harness import (
     MATERIALIZED_GROUP,
     SECONDARY_GROUP,
+    run_batch_query_experiment,
     run_build_sweep,
+    run_parallel_build_sweep,
     run_query_experiment,
     run_update_workload,
 )
@@ -58,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory", type=float, nargs="+", default=[1.0, 0.05, 0.01],
         help="memory budgets as fractions of the dataset size",
     )
+    build.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel bulk-loading (Coconut indexes)",
+    )
 
     query = commands.add_parser("query", help="query cost experiment")
     _add_dataset_arguments(query)
@@ -66,6 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--indexes", nargs="+",
         default=["CTree", "CTreeFull", "ADS+", "ADSFull"],
+    )
+    query.add_argument(
+        "--batch", action="store_true",
+        help="answer the workload as one QueryBatch and compare with per-query",
+    )
+    query.add_argument(
+        "--k", type=int, default=1, help="neighbors per query (batch mode)"
+    )
+
+    parallel = commands.add_parser(
+        "parallel", help="build speedup vs worker count"
+    )
+    _add_dataset_arguments(parallel)
+    parallel.add_argument("--index", default="CTreeFull")
+    parallel.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to sweep (put 1 first for the baseline)",
     )
 
     space = commands.add_parser("space", help="index size and fill factors")
@@ -80,19 +113,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query" and args.batch and args.mode != "exact":
+        parser.error("--batch compares exact search only; drop --mode")
+    if args.command == "query" and not args.batch and args.k != 1:
+        parser.error("--k only applies to the batched experiment; add --batch")
     spec = _spec(args)
     if args.command == "build":
         group = (
             SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
         )
-        rows = run_build_sweep(group, spec, args.memory)
+        rows = run_build_sweep(group, spec, args.memory, workers=args.workers)
         print_experiment(f"construction sweep ({args.group})", rows)
+    elif args.command == "query" and args.batch:
+        rows = run_batch_query_experiment(
+            args.indexes, spec, args.queries, k=args.k
+        )
+        print_experiment("batched vs per-query exact search", rows)
     elif args.command == "query":
         rows = run_query_experiment(
             args.indexes, spec, args.queries, mode=args.mode
         )
         print_experiment(f"{args.mode} query costs", rows)
+    elif args.command == "parallel":
+        rows = run_parallel_build_sweep(args.index, spec, args.workers)
+        print_experiment("parallel build scaling", rows)
     elif args.command == "space":
         rows = run_build_sweep(
             MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25]

@@ -160,14 +160,21 @@ class Environment:
 
 
 def make_environment(
-    index_key: str, spec: DatasetSpec, memory_bytes: int
+    index_key: str, spec: DatasetSpec, memory_bytes: int, workers: int = 1
 ) -> Environment:
-    """Generate the dataset, write the raw file, construct the index."""
+    """Generate the dataset, write the raw file, construct the index.
+
+    ``workers > 1`` enables the parallel bulk-loading pipeline on
+    indexes that support it (the Coconut family); other indexes ignore
+    it and build serially.
+    """
     disk = SimulatedDisk(page_size=PAGE_SIZE)
     data = spec.generate()
     raw = RawSeriesFile.create(disk, data)
     disk.reset_stats()  # ingest of the raw file is not index cost
     index = INDEX_FACTORIES[index_key](disk, memory_bytes, spec.length)
+    if workers > 1 and hasattr(index, "workers"):
+        index.workers = int(workers)
     return Environment(disk=disk, raw=raw, index=index)
 
 
@@ -193,15 +200,119 @@ def run_build_sweep(
     index_keys: list[str],
     spec: DatasetSpec,
     memory_fractions: list[float],
+    workers: int = 1,
 ) -> list[dict]:
     """Construction cost vs. memory budget (Figs. 8a/8b)."""
     rows = []
     for fraction in memory_fractions:
         memory = max(4096, int(spec.raw_bytes * fraction))
         for key in index_keys:
-            env = make_environment(key, spec, memory)
+            env = make_environment(key, spec, memory, workers=workers)
             report = env.index.build(env.raw)
             rows.append(_build_row(key, memory, spec, report))
+    return rows
+
+
+def run_parallel_build_sweep(
+    index_key: str,
+    spec: DatasetSpec,
+    workers_list: list[int],
+    memory_fraction: float = 1.0,
+) -> list[dict]:
+    """Build wall-clock vs. worker count (bench_parallel_scaling).
+
+    The first entry of ``workers_list`` should be 1 so every other row
+    reports its speedup against the serial build of the same dataset.
+    Simulated I/O is reported too: when the sort fits in memory it is
+    identical across worker counts (parallelism only reorganizes CPU
+    work); a spilled sort writes the same records as slightly different
+    run files, so its I/O may differ marginally.
+    """
+    rows = []
+    memory = max(4096, int(spec.raw_bytes * memory_fraction))
+    serial_wall = None
+    for workers in workers_list:
+        env = make_environment(index_key, spec, memory, workers=workers)
+        report = env.index.build(env.raw)
+        if serial_wall is None or workers <= 1:
+            serial_wall = report.wall_s
+        rows.append(
+            {
+                "index": index_key,
+                "workers": workers,
+                "n_series": spec.n_series,
+                "wall_s": report.wall_s,
+                "sim_io_s": report.simulated_io_ms / 1000.0,
+                "speedup": serial_wall / report.wall_s if report.wall_s else 1.0,
+                "n_leaves": report.n_leaves,
+            }
+        )
+    return rows
+
+
+def run_batch_query_experiment(
+    index_keys: list[str],
+    spec: DatasetSpec,
+    n_queries: int,
+    k: int = 1,
+    memory_fraction: float = 0.25,
+) -> list[dict]:
+    """Batched vs. per-query exact search on the same index.
+
+    Answers the same workload twice — once query-at-a-time, once as a
+    single :class:`repro.indexes.QueryBatch` — and reports both costs
+    plus whether the answers agree (they must; the equivalence suite
+    asserts it, this row makes it visible in benchmark output).
+    """
+    from ..indexes.base import QueryBatch
+
+    queries = spec.queries(n_queries)
+    memory = max(4096, int(spec.raw_bytes * memory_fraction))
+    rows = []
+    for key in index_keys:
+        env = make_environment(key, spec, memory)
+        env.index.build(env.raw)
+        env.disk.reset_stats()
+        # Per-query baseline for the same problem: exact_search at
+        # k = 1, exact_knn otherwise (comparing a k-NN batch against
+        # 1-NN queries would cross-compare two different workloads).
+        if k == 1:
+            per_query = [env.index.exact_search(q) for q in queries]
+            per_best = [r.answer_idx for r in per_query]
+        else:
+            per_query = [env.index.exact_knn(q, k) for q in queries]
+            per_best = [
+                r.answer_ids[0] if r.answer_ids else -1 for r in per_query
+            ]
+        per_io_s = sum(r.simulated_io_ms for r in per_query) / 1e3
+        per_wall = sum(r.wall_s for r in per_query)
+        env.disk.reset_stats()
+        batched = env.index.query_batch(QueryBatch(queries=queries, k=k))
+        agree = all(
+            best == b.answer_idx
+            for best, b in zip(per_best, batched.results)
+        )
+        batched_s = batched.total_cost_s
+        rows.append(
+            {
+                "index": key,
+                "n_queries": n_queries,
+                "k": k,
+                "per_query_s": per_io_s + per_wall,
+                "batched_s": batched_s,
+                "io_speedup": (
+                    per_io_s / (batched.simulated_io_ms / 1e3)
+                    if batched.simulated_io_ms
+                    else float("inf")
+                ),
+                "total_speedup": (
+                    (per_io_s + per_wall) / batched_s
+                    if batched_s
+                    else float("inf")
+                ),
+                "answers_agree": agree,
+            }
+        )
     return rows
 
 

@@ -24,6 +24,18 @@ records skip-sequentially.
 Batch insertion merges sorted batches into the leaf level (Fig. 10a):
 large batches amortize to near-bulk-load cost, tiny batches degrade
 toward per-leaf random I/O — the crossover the paper reports.
+
+Parallel bulk-loading (``workers > 1``): the summarization scan fans
+page-aligned chunks out to a worker pool
+(:class:`repro.parallel.ParallelSummarizer`); each worker returns the
+chunk's invSAX keys presorted, and the presorted runs feed
+:meth:`repro.storage.ExternalSorter.sort_runs` — the partition phase of
+the external sort runs on all cores.  The resulting leaf level is
+bit-identical (same keys, same leaf boundaries, same payload order) to
+the serial build for every worker count and chunk size.  Batched
+queries (:meth:`query_batch`) share one SIMS summary scan and every
+fetched page across the whole batch via
+:func:`repro.parallel.batched_exact_knn`.
 """
 
 from __future__ import annotations
@@ -60,6 +72,18 @@ def _record_dtype(config: SAXConfig, length: int, materialized: bool) -> np.dtyp
     return np.dtype(fields)
 
 
+def payload_dtype(length: int, materialized: bool) -> np.dtype:
+    """Rows carried through the external sort: offset [+ the series].
+
+    One definition shared by the serial scan, the parallel presorted
+    runs and leaf merging — the layouts must match byte for byte for
+    the parallel build to be bit-identical to the serial one.
+    """
+    if materialized:
+        return np.dtype([("off", "<i8"), ("series", "<f4", (length,))])
+    return np.dtype([("off", "<i8")])
+
+
 class CoconutTree(SeriesIndex):
     """Balanced bulk-loaded index over sortable summarizations."""
 
@@ -73,6 +97,9 @@ class CoconutTree(SeriesIndex):
         materialized: bool = False,
         default_radius: int = 1,
         fanout: int = 32,
+        workers: int = 1,
+        chunk_series: int | None = None,
+        pool_kind: str = "process",
     ):
         super().__init__(disk, memory_bytes)
         if not 0.5 <= fill_factor <= 1.0:
@@ -87,6 +114,9 @@ class CoconutTree(SeriesIndex):
         self.is_materialized = materialized
         self.default_radius = max(1, default_radius)
         self.fanout = max(2, fanout)
+        self.workers = max(1, int(workers))
+        self.chunk_series = chunk_series
+        self.pool_kind = pool_kind
         self.name = "Coconut-Tree-Full" if materialized else "Coconut-Tree"
         self._leaves: list[_Leaf] = []
         self._first_keys: np.ndarray | None = None
@@ -130,9 +160,12 @@ class CoconutTree(SeriesIndex):
     def build(self, raw: RawSeriesFile) -> BuildReport:
         self.raw = raw
         with Measurement(self.disk) as measure:
-            keys, payloads = self._summarize_scan(raw)
             rec = _record_dtype(self.config, raw.length, self.is_materialized)
             sorter = ExternalSorter(self.disk, self.memory_bytes)
+            if self.workers > 1:
+                runs = self._summarize_runs(raw)
+            else:
+                keys, payloads = self._summarize_scan(raw)
             n_leaves_estimate = max(
                 1, -(-raw.n_series // self.target_leaf_records)
             )
@@ -140,7 +173,12 @@ class CoconutTree(SeriesIndex):
             self._leaf_file.grow(n_leaves_estimate * self.pages_per_leaf)
             self._sidecar = PagedFile(self.disk, name=f"{self.name}-summaries")
             self._record_itemsize = rec.itemsize
-            self._bulk_load(sorter.sort(keys, payloads), rec)
+            sorted_stream = (
+                sorter.sort_runs(runs)
+                if self.workers > 1
+                else sorter.sort(keys, payloads)
+            )
+            self._bulk_load(sorted_stream, rec)
             self._rebuild_directory()
             self._write_sidecar()
         self.built = True
@@ -163,11 +201,7 @@ class CoconutTree(SeriesIndex):
         """Pass over the raw file: sortable keys plus record payloads."""
         key_parts: list[np.ndarray] = []
         payload_parts: list[np.ndarray] = []
-        pay_dtype = np.dtype(
-            [("off", "<i8"), ("series", "<f4", (raw.length,))]
-            if self.is_materialized
-            else [("off", "<i8")]
-        )
+        pay_dtype = payload_dtype(raw.length, self.is_materialized)
         for start, block in raw.scan():
             words = sax_words(block, self.config)
             key_parts.append(interleave_words(words, self.config))
@@ -182,6 +216,21 @@ class CoconutTree(SeriesIndex):
                 np.empty(0, dtype=pay_dtype),
             )
         return np.concatenate(key_parts), np.concatenate(payload_parts)
+
+    def _summarize_runs(
+        self, raw: RawSeriesFile
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Parallel variant of :meth:`_summarize_scan`: presorted runs."""
+        from ..parallel.summarize import summarize_presorted_runs
+
+        return summarize_presorted_runs(
+            raw,
+            self.config,
+            self.is_materialized,
+            workers=self.workers,
+            chunk_size=self.chunk_series,
+            kind=self.pool_kind,
+        )
 
     def _bulk_load(self, sorted_chunks, rec: np.dtype) -> None:
         """Fill leaves to the target fill factor from the sorted stream."""
@@ -373,15 +422,11 @@ class CoconutTree(SeriesIndex):
     ) -> QueryResult:
         query = self._query_array(query)
         with Measurement(self.disk) as measure:
-            self._ensure_summaries()
+            words, fetch = self._prepare_sims()
             seed = self.approximate_search(query, radius_leaves)
-            if self.is_materialized:
-                fetch = self._fetch_from_leaves
-            else:
-                fetch = self._fetch_from_raw
             outcome = sims_scan(
                 query,
-                self._flat_words,
+                words,
                 self.config,
                 fetch,
                 initial_bsf=seed.distance,
@@ -411,7 +456,7 @@ class CoconutTree(SeriesIndex):
         query = self._query_array(query)
         radius = radius_leaves or self.default_radius
         with Measurement(self.disk) as measure:
-            self._ensure_summaries()
+            words, fetch = self._prepare_sims()
             key = query_key(query, self.config)
             target = self._locate_leaf(key)
             lo = max(0, target - (radius - 1) // 2)
@@ -419,19 +464,39 @@ class CoconutTree(SeriesIndex):
             lo = max(0, hi - radius)
             identifiers, distances = self._scan_radius(query, key, lo, hi, radius)
             seeds = list(zip(distances.tolist(), identifiers.tolist()))
-            fetch = (
-                self._fetch_from_leaves
-                if self.is_materialized
-                else self._fetch_from_raw
-            )
             outcome = sims_knn_scan(
-                query, k, self._flat_words, self.config, fetch,
+                query, k, words, self.config, fetch,
                 seed_distances=seeds,
             )
         outcome.visited_records += len(identifiers)
         outcome.io = measure.io
         outcome.simulated_io_ms = measure.simulated_io_ms
+        outcome.wall_s = measure.wall_s
         return outcome
+
+    def query_batch(self, batch):
+        """Batched exact kNN sharing one SIMS pass (repro.parallel.batch).
+
+        The summary column is loaded once for the whole batch and every
+        fetched record block serves all queries that still need it;
+        answers are identical to issuing the queries one at a time.
+        Approximate batches fall back to the per-query loop.
+        """
+        if batch.mode != "exact":
+            return super().query_batch(batch)
+        from ..parallel.batch import sims_query_batch
+
+        return sims_query_batch(self, batch, self._prepare_sims)
+
+    def _prepare_sims(self):
+        """(words, fetch) of the loaded summary column, for the engines."""
+        self._ensure_summaries()
+        fetch = (
+            self._fetch_from_leaves
+            if self.is_materialized
+            else self._fetch_from_raw
+        )
+        return self._flat_words, fetch
 
     def _fetch_from_raw(
         self, positions: np.ndarray
@@ -495,12 +560,9 @@ class CoconutTree(SeriesIndex):
     ) -> None:
         rec = self.record_dtype
         if not self._leaves:
-            payload_dtype = np.dtype(
-                [("off", "<i8"), ("series", "<f4", (self.raw.length,))]
-                if self.is_materialized
-                else [("off", "<i8")]
+            payloads = np.zeros(
+                len(keys), dtype=payload_dtype(self.raw.length, self.is_materialized)
             )
-            payloads = np.zeros(len(keys), dtype=payload_dtype)
             payloads["off"] = offsets
             if self.is_materialized:
                 payloads["series"] = series

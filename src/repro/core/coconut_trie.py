@@ -35,7 +35,7 @@ from ..storage.external_sort import ExternalSorter, sort_to_arrays
 from ..storage.pager import PagedFile
 from ..storage.seriesfile import RawSeriesFile
 from ..summaries.sax import SAXConfig, sax_words
-from .coconut_tree import _record_dtype
+from .coconut_tree import _record_dtype, payload_dtype
 from .invsax import deinterleave_keys, interleave_words, query_key
 from .sims import sims_scan
 
@@ -62,6 +62,9 @@ class CoconutTrie(SeriesIndex):
         config: SAXConfig | None = None,
         leaf_size: int = 100,
         materialized: bool = False,
+        workers: int = 1,
+        chunk_series: int | None = None,
+        pool_kind: str = "process",
     ):
         super().__init__(disk, memory_bytes)
         if leaf_size <= 0:
@@ -69,6 +72,9 @@ class CoconutTrie(SeriesIndex):
         self.config = config or SAXConfig()
         self.leaf_size = leaf_size
         self.is_materialized = materialized
+        self.workers = max(1, int(workers))
+        self.chunk_series = chunk_series
+        self.pool_kind = pool_kind
         self.name = "Coconut-Trie-Full" if materialized else "Coconut-Trie"
         self._leaves: list[_TrieLeaf] = []
         self._first_keys: np.ndarray | None = None
@@ -84,9 +90,24 @@ class CoconutTrie(SeriesIndex):
     def build(self, raw: RawSeriesFile) -> BuildReport:
         self.raw = raw
         with Measurement(self.disk) as measure:
-            keys, payloads = self._summarize_scan(raw)
             sorter = ExternalSorter(self.disk, self.memory_bytes)
-            keys, payloads = sort_to_arrays(sorter, keys, payloads)
+            if self.workers > 1:
+                from ..parallel.summarize import summarize_presorted_runs
+
+                runs = summarize_presorted_runs(
+                    raw,
+                    self.config,
+                    self.is_materialized,
+                    workers=self.workers,
+                    chunk_size=self.chunk_series,
+                    kind=self.pool_kind,
+                )
+                keys, payloads = self._collect_stream(
+                    sorter.sort_runs(runs), raw.length
+                )
+            else:
+                keys, payloads = self._summarize_scan(raw)
+                keys, payloads = sort_to_arrays(sorter, keys, payloads)
             rec = _record_dtype(self.config, raw.length, self.is_materialized)
             self._record_itemsize = rec.itemsize
             self._leaf_file = PagedFile(self.disk, name=f"{self.name}-leaves")
@@ -123,11 +144,7 @@ class CoconutTrie(SeriesIndex):
     def _summarize_scan(
         self, raw: RawSeriesFile
     ) -> tuple[np.ndarray, np.ndarray]:
-        pay_dtype = np.dtype(
-            [("off", "<i8"), ("series", "<f4", (raw.length,))]
-            if self.is_materialized
-            else [("off", "<i8")]
-        )
+        pay_dtype = payload_dtype(raw.length, self.is_materialized)
         key_parts, payload_parts = [], []
         for start, block in raw.scan():
             words = sax_words(block, self.config)
@@ -141,6 +158,21 @@ class CoconutTrie(SeriesIndex):
             return (
                 np.empty(0, dtype=self.config.key_dtype),
                 np.empty(0, dtype=pay_dtype),
+            )
+        return np.concatenate(key_parts), np.concatenate(payload_parts)
+
+    def _collect_stream(
+        self, stream, length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate a sorted (keys, payloads) chunk stream."""
+        key_parts, payload_parts = [], []
+        for chunk_keys, chunk_payloads in stream:
+            key_parts.append(chunk_keys)
+            payload_parts.append(chunk_payloads)
+        if not key_parts:
+            return (
+                np.empty(0, dtype=self.config.key_dtype),
+                np.empty(0, dtype=payload_dtype(length, self.is_materialized)),
             )
         return np.concatenate(key_parts), np.concatenate(payload_parts)
 
@@ -273,16 +305,11 @@ class CoconutTrie(SeriesIndex):
         """SIMS over the sorted summaries (same engine as Coconut-Tree)."""
         query = self._query_array(query)
         with Measurement(self.disk) as measure:
-            self._ensure_summaries()
+            words, fetch = self._prepare_sims()
             seed = self.approximate_search(query)
-            fetch = (
-                self._fetch_from_leaves
-                if self.is_materialized
-                else self._fetch_from_raw
-            )
             outcome = sims_scan(
                 query,
-                self._flat_words,
+                words,
                 self.config,
                 fetch,
                 initial_bsf=seed.distance,
@@ -298,6 +325,30 @@ class CoconutTrie(SeriesIndex):
             wall_s=measure.wall_s,
             pruned_fraction=outcome.pruned_fraction,
         )
+
+    def exact_knn(self, query: np.ndarray, k: int):
+        """Exact k nearest neighbors via the SIMS kNN scan (core.knn)."""
+        from .knn import seeded_sims_knn
+
+        return seeded_sims_knn(self, query, k, self._prepare_sims)
+
+    def query_batch(self, batch):
+        """Batched exact kNN sharing one SIMS pass (repro.parallel.batch)."""
+        if batch.mode != "exact":
+            return super().query_batch(batch)
+        from ..parallel.batch import sims_query_batch
+
+        return sims_query_batch(self, batch, self._prepare_sims)
+
+    def _prepare_sims(self):
+        """(words, fetch) of the summary column, for the shared engines."""
+        self._ensure_summaries()
+        fetch = (
+            self._fetch_from_leaves
+            if self.is_materialized
+            else self._fetch_from_raw
+        )
+        return self._flat_words, fetch
 
     def _ensure_summaries(self) -> None:
         if self._summaries_loaded:

@@ -37,7 +37,13 @@ def interleave_words(words: np.ndarray, config: SAXConfig) -> np.ndarray:
     each segment ``j`` in series order, output bit ``i`` of segment
     ``j``.  Returns an (N,) array of dtype ``S{key_bytes}``.
     """
-    words = np.atleast_2d(np.asarray(words, dtype=np.uint32))
+    words = np.asarray(words, dtype=np.uint32)
+    if words.size == 0:
+        # Zero records interleave to zero keys regardless of the shape
+        # the empty array arrived in (chunked pipelines legitimately
+        # produce empty chunks).
+        return np.empty(0, dtype=config.key_dtype)
+    words = np.atleast_2d(words)
     n, w = words.shape
     if w != config.word_length:
         raise ValueError(

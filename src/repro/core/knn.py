@@ -31,6 +31,11 @@ class KNNOutcome:
     pruned_fraction: float
     io: object | None = None
     simulated_io_ms: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def total_cost_s(self) -> float:
+        return self.simulated_io_ms / 1000.0 + self.wall_s
 
 
 class _BoundedMaxHeap:
@@ -59,6 +64,33 @@ class _BoundedMaxHeap:
 
     def sorted_items(self) -> list[tuple[float, int]]:
         return sorted((-d, i) for d, i in self._heap)
+
+
+def seeded_sims_knn(index, query: np.ndarray, k: int, prepare) -> KNNOutcome:
+    """Shared exact-kNN wrapper for SIMS-backed indexes.
+
+    Runs the approximate search as a pruning seed, then the kNN scan
+    over whatever summaries/fetch the index's ``prepare`` callback
+    yields — all inside one measurement so I/O (including any summary
+    load ``prepare`` performs) is charged to the query.
+    """
+    from ..indexes.base import Measurement  # deferred: base imports core
+
+    query = index._query_array(query)
+    with Measurement(index.disk) as measure:
+        words, fetch = prepare()
+        seed = index.approximate_search(query)
+        seeds = (
+            [(seed.distance, seed.answer_idx)] if seed.answer_idx >= 0 else []
+        )
+        outcome = sims_knn_scan(
+            query, k, words, index.config, fetch, seed_distances=seeds
+        )
+    outcome.visited_records += seed.visited_records
+    outcome.io = measure.io
+    outcome.simulated_io_ms = measure.simulated_io_ms
+    outcome.wall_s = measure.wall_s
+    return outcome
 
 
 def sims_knn_scan(

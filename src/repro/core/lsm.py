@@ -257,20 +257,24 @@ class CoconutLSM(SeriesIndex):
             wall_s=measure.wall_s,
         )
 
+    def _all_summaries(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated (words, offsets) of all runs plus the memtable."""
+        key_parts = [run.keys for run in self._runs] + self._mem_keys
+        offset_parts = [run.offsets for run in self._runs] + self._mem_offsets
+        if key_parts:
+            all_keys = np.concatenate(key_parts)
+            all_offsets = np.concatenate(offset_parts)
+        else:
+            all_keys = np.empty(0, dtype=self.config.key_dtype)
+            all_offsets = np.empty(0, dtype=np.int64)
+        return deinterleave_keys(all_keys, self.config), all_offsets
+
     def exact_search(self, query: np.ndarray) -> QueryResult:
         """SIMS over the union of all runs plus the memtable."""
         query = self._query_array(query)
         with Measurement(self.disk) as measure:
             seed = self.approximate_search(query)
-            key_parts = [run.keys for run in self._runs] + self._mem_keys
-            offset_parts = [run.offsets for run in self._runs] + self._mem_offsets
-            if key_parts:
-                all_keys = np.concatenate(key_parts)
-                all_offsets = np.concatenate(offset_parts)
-            else:
-                all_keys = np.empty(0, dtype=self.config.key_dtype)
-                all_offsets = np.empty(0, dtype=np.int64)
-            words = deinterleave_keys(all_keys, self.config)
+            words, all_offsets = self._all_summaries()
 
             def fetch(positions: np.ndarray):
                 offsets = all_offsets[positions]
@@ -294,6 +298,30 @@ class CoconutLSM(SeriesIndex):
             wall_s=measure.wall_s,
             pruned_fraction=outcome.pruned_fraction,
         )
+
+    def exact_knn(self, query: np.ndarray, k: int):
+        """Exact k nearest neighbors via the SIMS kNN scan (core.knn)."""
+        from .knn import seeded_sims_knn
+
+        return seeded_sims_knn(self, query, k, self._prepare_sims)
+
+    def query_batch(self, batch):
+        """Batched exact kNN sharing one SIMS pass over all runs."""
+        if batch.mode != "exact":
+            return super().query_batch(batch)
+        from ..parallel.batch import sims_query_batch
+
+        return sims_query_batch(self, batch, self._prepare_sims)
+
+    def _prepare_sims(self):
+        """(words, fetch) over the union of runs, for the shared engines."""
+        words, all_offsets = self._all_summaries()
+
+        def fetch(positions: np.ndarray):
+            offsets = all_offsets[positions]
+            return self.raw.get_many(offsets), offsets
+
+        return words, fetch
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:

@@ -1,7 +1,14 @@
 """Baseline indexes from the paper's evaluation, plus the shared API."""
 
 from .ads import ADSIndex
-from .base import BuildReport, Measurement, QueryResult, SeriesIndex
+from .base import (
+    BatchReport,
+    BuildReport,
+    Measurement,
+    QueryBatch,
+    QueryResult,
+    SeriesIndex,
+)
 from .dstree import DSTree
 from .isax2 import ISAX2Index, ISAXTree
 from .rtree import RTreeIndex
@@ -10,11 +17,13 @@ from .vertical import VerticalIndex
 
 __all__ = [
     "ADSIndex",
+    "BatchReport",
     "BuildReport",
     "DSTree",
     "ISAX2Index",
     "ISAXTree",
     "Measurement",
+    "QueryBatch",
     "QueryResult",
     "RTreeIndex",
     "SerialScan",

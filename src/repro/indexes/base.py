@@ -58,6 +58,65 @@ class QueryResult:
         return self.simulated_io_ms / 1000.0 + self.wall_s
 
 
+@dataclass
+class QueryBatch:
+    """Many similarity queries answered in one shared pass.
+
+    ``mode`` selects the paper's two query flavors ("exact" or
+    "approximate"); ``k`` generalizes to k nearest neighbors (k = 1 is
+    Definition 2's similarity search).  Indexes that can share work
+    across the batch — the Coconut family shares the SIMS summary scan
+    and every fetched page; the serial scan answers the whole batch in
+    a single pass over the raw file — override
+    :meth:`SeriesIndex.query_batch`; everything else falls back to a
+    per-query loop with identical results.
+    """
+
+    queries: np.ndarray
+    k: int = 1
+    mode: str = "exact"
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.mode not in ("exact", "approximate"):
+            raise ValueError(f"mode must be exact|approximate, got {self.mode!r}")
+        if self.mode == "approximate" and self.k != 1:
+            raise ValueError(
+                "approximate batches answer 1-NN only; use mode='exact' for k > 1"
+            )
+
+    @property
+    def n_queries(self) -> int:
+        return len(np.atleast_2d(np.asarray(self.queries)))
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :class:`QueryBatch`: per-query answers + totals.
+
+    ``results[i]`` is the 1-NN view of query ``i`` (its best answer);
+    ``knn_ids[i]`` / ``knn_distances[i]`` hold the full k answers in
+    ascending distance order.  I/O and wall time are totals for the
+    whole batch — the quantity the batching experiments compare against
+    the sum of per-query costs.
+    """
+
+    results: list[QueryResult] = field(default_factory=list)
+    knn_ids: list[list[int]] = field(default_factory=list)
+    knn_distances: list[list[float]] = field(default_factory=list)
+    io: DiskStats = field(default_factory=DiskStats)
+    simulated_io_ms: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def total_cost_s(self) -> float:
+        return self.simulated_io_ms / 1000.0 + self.wall_s
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
 class Measurement:
     """Context manager capturing wall time and I/O deltas of one step."""
 
@@ -114,6 +173,100 @@ class SeriesIndex(abc.ABC):
     def insert_batch(self, data: np.ndarray) -> BuildReport:
         """Add new series to the index (updates experiment, Fig. 10a)."""
         raise NotImplementedError(f"{self.name} does not support updates")
+
+    # ------------------------------------------------------------------
+    def exact_knn(self, query: np.ndarray, k: int):
+        """Exact k nearest neighbors; returns a ``KNNOutcome``.
+
+        k = 1 delegates to :meth:`exact_search` (the index's own pruned
+        path).  For larger k the base implementation falls back to a
+        ground-truth scan of the raw file — exact but unindexed, so
+        SIMS-backed indexes override it with a pruned k-NN scan.
+        """
+        from ..core.knn import KNNOutcome, _BoundedMaxHeap  # deferred
+
+        if k == 1:
+            result = self.exact_search(query)
+            answered = result.answer_idx >= 0
+            return KNNOutcome(
+                answer_ids=[result.answer_idx] if answered else [],
+                distances=[result.distance] if answered else [],
+                visited_records=result.visited_records,
+                pruned_fraction=result.pruned_fraction,
+                io=result.io,
+                simulated_io_ms=result.simulated_io_ms,
+                wall_s=result.wall_s,
+            )
+        from ..series.distance import euclidean_batch
+
+        query = self._query_array(query)
+        heap = _BoundedMaxHeap(k)
+        with Measurement(self.disk) as measure:
+            for start, block in self._require_built().scan():
+                distances = euclidean_batch(query, block.astype(np.float64))
+                for j in np.argsort(distances, kind="stable")[:k]:
+                    heap.offer(float(distances[j]), start + int(j))
+        items = heap.sorted_items()
+        return KNNOutcome(
+            answer_ids=[identifier for _, identifier in items],
+            distances=[distance for distance, _ in items],
+            visited_records=self._require_built().n_series,
+            pruned_fraction=0.0,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+        )
+
+    def query_batch(self, batch: QueryBatch) -> BatchReport:
+        """Answer a :class:`QueryBatch`; default is a per-query loop.
+
+        Subclasses that can share work across queries override this;
+        the contract is that the returned (id, distance) answers are
+        identical to issuing every query individually.
+        """
+        queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
+        results: list[QueryResult] = []
+        ids: list[list[int]] = []
+        distances: list[list[float]] = []
+        with Measurement(self.disk) as measure:
+            for query in queries:
+                if batch.mode == "approximate":
+                    result = self.approximate_search(query)
+                elif batch.k == 1:
+                    result = self.exact_search(query)
+                else:
+                    outcome = self.exact_knn(query, batch.k)
+                    results.append(
+                        QueryResult(
+                            answer_idx=(
+                                outcome.answer_ids[0]
+                                if outcome.answer_ids
+                                else -1
+                            ),
+                            distance=(
+                                outcome.distances[0]
+                                if outcome.distances
+                                else float("inf")
+                            ),
+                            visited_records=outcome.visited_records,
+                            pruned_fraction=outcome.pruned_fraction,
+                        )
+                    )
+                    ids.append(list(outcome.answer_ids))
+                    distances.append(list(outcome.distances))
+                    continue
+                results.append(result)
+                answered = result.answer_idx >= 0
+                ids.append([result.answer_idx] if answered else [])
+                distances.append([result.distance] if answered else [])
+        return BatchReport(
+            results=results,
+            knn_ids=ids,
+            knn_distances=distances,
+            io=measure.io,
+            simulated_io_ms=measure.simulated_io_ms,
+            wall_s=measure.wall_s,
+        )
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:

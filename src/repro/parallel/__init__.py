@@ -1,0 +1,41 @@
+"""Parallel build and batched query execution for the Coconut indexes.
+
+The paper's argument is that sortable summarizations make index
+construction "scale with the hardware": summarization is embarrassingly
+parallel per chunk, and an external sort consumes presorted runs from
+any number of producers.  This package supplies both halves:
+
+* :mod:`repro.parallel.summarize` — a chunked, multi-worker
+  ``series -> PAA -> SAX -> invSAX`` pipeline whose presorted chunk
+  runs feed :meth:`repro.storage.ExternalSorter.sort_runs` directly,
+  so bulk-loading uses all cores while producing bit-identical indexes
+  to the serial path.
+* :mod:`repro.parallel.batch` — a batched exact-kNN executor that
+  answers many queries in one skip-sequential SIMS pass, sharing the
+  summary scan and every fetched page across the whole batch.
+
+Both are wired into the index classes (``workers=`` on the Coconut
+constructors, ``query_batch()`` on every index) and into the benchmark
+CLI as ``--workers`` / ``--batch``.
+"""
+
+from .batch import batched_exact_knn, build_batch_report
+from .summarize import (
+    DEFAULT_CHUNK_SERIES,
+    ParallelSummarizer,
+    parallel_invsax_keys,
+    resolve_workers,
+    summarize_chunk,
+    summarize_presorted_runs,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SERIES",
+    "ParallelSummarizer",
+    "batched_exact_knn",
+    "build_batch_report",
+    "parallel_invsax_keys",
+    "resolve_workers",
+    "summarize_chunk",
+    "summarize_presorted_runs",
+]

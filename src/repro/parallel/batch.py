@@ -1,0 +1,158 @@
+"""Batched exact-kNN executor: one shared SIMS pass for many queries.
+
+Answering queries one at a time repeats the two expensive steps of
+Algorithm 5 per query: loading/scanning the summary column and fetching
+unpruned records from disk.  A batch shares both.  The engine computes
+every query's lower-bound vector over the same in-memory summaries,
+takes the *union* of unpruned positions, and walks that union once in
+ascending storage order — each fetched block of records is evaluated
+against every query that still needs it, so a page read once serves the
+whole batch (the bufferpool never sees the same page twice in a pass).
+
+Results are exact and identical to the per-query engine: pruning uses
+per-query thresholds that only ever shrink, so every record that could
+beat a query's k-th best distance is visited on that query's behalf.
+The cross-index equivalence suite asserts this against the serial-scan
+oracle and the per-query path for every index variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.knn import KNNOutcome, _BoundedMaxHeap
+from ..indexes.base import BatchReport, Measurement, QueryResult
+from ..series.distance import euclidean_batch
+from ..summaries.paa import paa
+from ..summaries.sax import SAXConfig, mindist_paa_to_words
+
+#: Cap on the Q x N lower-bound matrix the engine materializes; larger
+#: batches are split into query sub-batches (fetch sharing is then per
+#: sub-batch, but memory stays ~128 MB instead of growing with Q x N).
+MAX_MINDIST_CELLS = 16_000_000
+
+
+def batched_exact_knn(
+    queries: np.ndarray,
+    k: int,
+    words: np.ndarray,
+    config: SAXConfig,
+    fetch,
+    seeds: list[list[tuple[float, int]]] | None = None,
+    block_records: int = 4096,
+) -> list[KNNOutcome]:
+    """Exact k nearest neighbors for every query in one shared pass.
+
+    Parameters mirror :func:`repro.core.knn.sims_knn_scan`, except that
+    ``queries`` is a (Q, n) batch and ``seeds`` holds one (distance,
+    id) seed list per query (ids < 0 are ignored).  ``fetch`` is called
+    with ascending positions exactly once per unpruned block — the same
+    skip-sequential contract as the per-query engine, shared batch-wide.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n_queries = len(queries)
+    n = len(words)
+    if n_queries > 1 and n_queries * n > MAX_MINDIST_CELLS:
+        half = n_queries // 2
+        seeds = seeds or [[] for _ in range(n_queries)]
+        return batched_exact_knn(
+            queries[:half], k, words, config, fetch, seeds[:half], block_records
+        ) + batched_exact_knn(
+            queries[half:], k, words, config, fetch, seeds[half:], block_records
+        )
+    heaps = [_BoundedMaxHeap(k) for _ in range(n_queries)]
+    for heap, pairs in zip(heaps, seeds or []):
+        for distance, identifier in pairs:
+            if identifier >= 0:
+                heap.offer(float(distance), int(identifier))
+    if n == 0 or n_queries == 0:
+        return [
+            _outcome(heap, visited=0, n_records=n) for heap in heaps
+        ]
+    query_paa = paa(queries, config.word_length)
+    mindists = np.stack(
+        [mindist_paa_to_words(query_paa[i], words, config) for i in range(n_queries)]
+    )
+    thresholds = np.array([heap.threshold for heap in heaps])
+    union = np.nonzero((mindists < thresholds[:, None]).any(axis=0))[0]
+    visited = np.zeros(n_queries, dtype=np.int64)
+    for start in range(0, len(union), block_records):
+        block = union[start : start + block_records]
+        # Thresholds shrink as true distances come in; re-filter the
+        # block per query, then fetch the union of survivors once.
+        thresholds = np.array([heap.threshold for heap in heaps])
+        need = mindists[:, block] < thresholds[:, None]
+        alive = need.any(axis=0)
+        block, need = block[alive], need[:, alive]
+        if len(block) == 0:
+            continue
+        series, identifiers = fetch(block)
+        for i in range(n_queries):
+            rows = np.nonzero(need[i])[0]
+            if len(rows) == 0:
+                continue
+            distances = euclidean_batch(queries[i], series[rows])
+            visited[i] += len(rows)
+            for distance, identifier in zip(distances, identifiers[rows]):
+                heaps[i].offer(float(distance), int(identifier))
+    return [
+        _outcome(heap, visited=int(visited[i]), n_records=n)
+        for i, heap in enumerate(heaps)
+    ]
+
+
+def _outcome(heap: _BoundedMaxHeap, visited: int, n_records: int) -> KNNOutcome:
+    items = heap.sorted_items()
+    return KNNOutcome(
+        answer_ids=[identifier for _, identifier in items],
+        distances=[distance for distance, _ in items],
+        visited_records=visited,
+        pruned_fraction=1.0 - (visited / n_records) if n_records else 0.0,
+    )
+
+
+def sims_query_batch(index, batch, prepare) -> BatchReport:
+    """Shared ``query_batch`` implementation for SIMS-backed indexes.
+
+    ``prepare`` runs inside the measurement and returns the (words,
+    fetch) pair of the index — loading summaries there charges their
+    I/O to the batch, shared across all queries.  Each query is seeded
+    with its approximate answer, exactly as the per-query engines do.
+    """
+    queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
+    with Measurement(index.disk) as measure:
+        words, fetch = prepare()
+        seeds = []
+        for query in queries:
+            approx = index.approximate_search(query)
+            seeds.append([(approx.distance, approx.answer_idx)])
+        outcomes = batched_exact_knn(
+            queries, batch.k, words, index.config, fetch, seeds
+        )
+    return build_batch_report(outcomes, measure)
+
+
+def build_batch_report(
+    outcomes: list[KNNOutcome], measure: Measurement
+) -> BatchReport:
+    """Package per-query kNN outcomes as the uniform batch report."""
+    results = []
+    for outcome in outcomes:
+        results.append(
+            QueryResult(
+                answer_idx=outcome.answer_ids[0] if outcome.answer_ids else -1,
+                distance=(
+                    outcome.distances[0] if outcome.distances else float("inf")
+                ),
+                visited_records=outcome.visited_records,
+                pruned_fraction=outcome.pruned_fraction,
+            )
+        )
+    return BatchReport(
+        results=results,
+        knn_ids=[list(outcome.answer_ids) for outcome in outcomes],
+        knn_distances=[list(outcome.distances) for outcome in outcomes],
+        io=measure.io,
+        simulated_io_ms=measure.simulated_io_ms,
+        wall_s=measure.wall_s,
+    )

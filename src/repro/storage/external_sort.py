@@ -8,6 +8,12 @@ the memory budget no I/O is performed at all — the case the paper
 highlights for non-materialized Coconut variants, whose summarizations
 "in general fit in main memory".
 
+The partition phase can also be fed from outside: ``sort_runs``
+accepts chunk runs that were already stably sorted elsewhere — the
+parallel summarization pipeline (:mod:`repro.parallel.summarize`)
+presorts chunks on worker processes — and merges them into the exact
+stream ``sort`` would have produced.
+
 Keys are fixed-width byte strings (NumPy ``S<k>`` arrays); NumPy sorts
 them lexicographically, which for big-endian encoded invSAX words is
 exactly z-order.  Payloads are arbitrary fixed-size rows (an int64 file
@@ -137,6 +143,7 @@ class ExternalSorter:
         n = len(keys)
         self.report = SortReport(n_records=n, record_bytes=rec_dtype.itemsize)
         if n == 0:
+            self.report.n_runs = 0
             return iter(())
         mem_records = max(2, self.memory_bytes // rec_dtype.itemsize)
         if n <= mem_records:
@@ -189,6 +196,14 @@ class ExternalSorter:
         self.report.n_runs = len(runs)
         self.report.spilled = True
         self.report.run_pages = sum(run.n_pages for run, _ in runs)
+        return self._merge_spilled(runs, rec_dtype, mem_records)
+
+    def _merge_spilled(
+        self,
+        runs: list[tuple[PagedFile, int]],
+        rec_dtype: np.dtype,
+        mem_records: int,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         # Cascade until one merge pass suffices.
         while len(runs) > self._fan_in:
             self.report.merge_passes += 1
@@ -254,6 +269,82 @@ class ExternalSorter:
                 yield out["k"][:filled].copy(), out["v"][:filled].copy()
 
         return merged()
+
+    # ------------------------------------------------------------------
+    def sort_runs(
+        self, runs: list[tuple[np.ndarray, np.ndarray]]
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Merge pre-sorted runs into one globally sorted stream.
+
+        ``runs`` are (keys, payloads) pairs, each internally sorted with
+        a *stable* sort, whose concatenation in list order corresponds
+        to the original input order.  Under those conditions the merged
+        output — ties resolve in run order, then in within-run order —
+        is bit-identical to :meth:`sort` on the unsorted concatenation.
+        This is the entry point of the parallel bulk-loading pipeline:
+        worker processes presort chunks, and the partition phase here is
+        reduced to writing the runs out (or merging them in memory).
+        """
+        runs = [(np.asarray(k), np.asarray(p)) for k, p in runs]
+        for k, p in runs:
+            if len(k) != len(p):
+                raise ValueError(f"{len(k)} keys vs {len(p)} payloads in run")
+        runs = [run for run in runs if len(run[0])]
+        if not runs:
+            self.report = SortReport(n_runs=0)
+            return iter(())
+        rec_dtype = _record_dtype(*runs[0])
+        n = sum(len(k) for k, _ in runs)
+        self.report = SortReport(
+            n_records=n, record_bytes=rec_dtype.itemsize, n_runs=len(runs)
+        )
+        mem_records = max(2, self.memory_bytes // rec_dtype.itemsize)
+        if n <= mem_records:
+            keys, payloads = _merge_presorted(runs)
+
+            def chunks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+                for i in range(0, n, mem_records):
+                    yield keys[i : i + mem_records], payloads[i : i + mem_records]
+
+            return chunks()
+        self.report.spilled = True
+        files: list[tuple[PagedFile, int]] = []
+        for keys, payloads in runs:
+            block = np.empty(len(keys), dtype=rec_dtype)
+            block["k"] = keys
+            block["v"] = payloads
+            run = PagedFile(self.disk, name=f"sort-run-{len(files)}")
+            run.write_stream(block.tobytes())
+            files.append((run, len(keys)))
+        self.report.run_pages = sum(run.n_pages for run, _ in files)
+        return self._merge_spilled(files, rec_dtype, mem_records)
+
+
+def _merge_pair(
+    left: tuple[np.ndarray, np.ndarray], right: tuple[np.ndarray, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable vectorized merge of two sorted runs (left wins ties)."""
+    k1, p1 = left
+    k2, p2 = right
+    pos1 = np.arange(len(k1)) + np.searchsorted(k2, k1, side="left")
+    pos2 = np.arange(len(k2)) + np.searchsorted(k1, k2, side="right")
+    keys = np.empty(len(k1) + len(k2), dtype=k1.dtype)
+    payloads = np.empty(len(p1) + len(p2), dtype=p1.dtype)
+    keys[pos1], keys[pos2] = k1, k2
+    payloads[pos1], payloads[pos2] = p1, p2
+    return keys, payloads
+
+
+def _merge_presorted(
+    runs: list[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce adjacent sorted runs pairwise until one remains."""
+    while len(runs) > 1:
+        runs = [
+            _merge_pair(runs[i], runs[i + 1]) if i + 1 < len(runs) else runs[i]
+            for i in range(0, len(runs), 2)
+        ]
+    return runs[0]
 
 
 def sort_to_arrays(

@@ -190,11 +190,15 @@ class RawSeriesFile:
             idx = 0
             page = 0
             n_pages = self._page_of(self.n_series - 1) + 1
+            payload = spp * self.record_bytes
             while page < n_pages:
                 take = min(chunk_pages, n_pages - page)
                 parts = [self._read_logical(page + i) for i in range(take)]
+                # Records are packed per page: strip each page's tail
+                # padding (pages whose size is not a record multiple)
+                # before treating the records as contiguous.
                 blob = b"".join(
-                    p.ljust(self.disk.page_size, b"\x00") for p in parts
+                    p[:payload].ljust(payload, b"\x00") for p in parts
                 )
                 count = min(take * spp, self.n_series - idx)
                 block = np.frombuffer(

@@ -134,3 +134,30 @@ def test_format_table_explicit_columns():
     rows = [{"a": 1, "b": 2}]
     text = format_table(rows, columns=["b"])
     assert "a" not in text.splitlines()[0]
+
+
+def test_parallel_build_sweep_rows():
+    from repro.bench import run_parallel_build_sweep
+
+    rows = run_parallel_build_sweep("CTreeFull", TINY, [1, 2], memory_fraction=2.0)
+    assert [row["workers"] for row in rows] == [1, 2]
+    assert rows[0]["speedup"] == 1.0
+    # Parallelism reorganizes CPU work only: structure and I/O match.
+    assert rows[0]["n_leaves"] == rows[1]["n_leaves"]
+    assert rows[0]["sim_io_s"] == pytest.approx(rows[1]["sim_io_s"])
+
+
+def test_batch_query_experiment_agrees():
+    from repro.bench import run_batch_query_experiment
+
+    rows = run_batch_query_experiment(["CTree", "Serial"], TINY, n_queries=3, k=2)
+    assert {row["index"] for row in rows} == {"CTree", "Serial"}
+    assert all(row["answers_agree"] for row in rows)
+    assert all(row["batched_s"] >= 0 for row in rows)
+
+
+def test_make_environment_workers_threaded_through():
+    env = make_environment("CTree", TINY, TINY.raw_bytes, workers=3)
+    assert env.index.workers == 3
+    env = make_environment("Serial", TINY, TINY.raw_bytes, workers=3)  # ignored
+    assert not hasattr(env.index, "workers")

@@ -46,3 +46,50 @@ def test_updates_command(capsys):
 def test_dataset_choice_validated():
     with pytest.raises(SystemExit):
         main(["build", "--dataset", "nonsense"])
+
+
+def test_build_command_accepts_workers(capsys):
+    code = main(["build", "--group", "secondary", "--n", "300",
+                 "--length", "64", "--memory", "1.0", "--workers", "2"])
+    assert code == 0
+    assert "construction sweep" in capsys.readouterr().out
+
+
+def test_query_batch_command(capsys):
+    code = main(["query", "--n", "300", "--length", "64", "--queries", "2",
+                 "--indexes", "CTree", "--batch", "--k", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "batched vs per-query" in out
+    assert "answers_agree" in out
+
+
+def test_parallel_command(capsys):
+    code = main(["parallel", "--n", "400", "--length", "64",
+                 "--workers", "1", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "parallel build scaling" in out
+    assert "speedup" in out
+
+
+def test_query_batch_knn_works_with_default_indexes(capsys):
+    """Regression: --batch --k 2 crashed on ADS+ (no k-NN override)."""
+    code = main(["query", "--n", "300", "--length", "64", "--queries", "2",
+                 "--batch", "--k", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ADS+" in out and "True" in out
+
+
+def test_query_batch_rejects_approximate_mode():
+    """Regression: --mode was silently ignored when --batch was given."""
+    with pytest.raises(SystemExit):
+        main(["query", "--n", "300", "--length", "64",
+              "--batch", "--mode", "approximate"])
+
+
+def test_k_without_batch_rejected():
+    """Regression: --k was silently ignored unless --batch was given."""
+    with pytest.raises(SystemExit):
+        main(["query", "--n", "300", "--length", "64", "--k", "5"])

@@ -120,3 +120,81 @@ def test_property_sorted_output_matches_numpy(n, memory_records, seed):
     order = np.argsort(keys, kind="stable")
     np.testing.assert_array_equal(sorted_keys, keys[order])
     np.testing.assert_array_equal(sorted_values, values[order])
+
+
+def test_zero_record_report_counts_no_runs():
+    """Regression: an empty sort reports 0 runs, not a phantom one."""
+    disk = SimulatedDisk()
+    sorter = ExternalSorter(disk, memory_bytes=1024)
+    keys, values = make_records(0)
+    assert list(sorter.sort(keys, values)) == []
+    assert sorter.report.n_runs == 0
+    assert not sorter.report.spilled
+    assert disk.stats.total_ios == 0
+
+
+def test_spill_with_single_record_final_run():
+    """Regression: a trailing 1-record run merges correctly."""
+    disk = SimulatedDisk(page_size=256)
+    keys, values = make_records(5)  # runs of 2, 2, and 1
+    sorter = ExternalSorter(disk, memory_bytes=16 * 2)
+    sorted_keys, sorted_values = sort_to_arrays(sorter, keys, values)
+    assert sorter.report.spilled and sorter.report.n_runs == 3
+    order = np.argsort(keys, kind="stable")
+    np.testing.assert_array_equal(sorted_keys, keys[order])
+    np.testing.assert_array_equal(sorted_values, values[order])
+
+
+# ------------------------------------------------------ presorted runs
+def test_sort_runs_empty_and_single():
+    disk = SimulatedDisk()
+    sorter = ExternalSorter(disk, memory_bytes=1024)
+    assert list(sorter.sort_runs([])) == []
+    assert sorter.report.n_runs == 0
+    keys = np.array([b"zz"], dtype="S2")
+    values = np.array([7], dtype=np.int64)
+    chunks = list(sorter.sort_runs([(keys, values)]))
+    assert len(chunks) == 1
+    assert bytes(chunks[0][0][0]) == b"zz" and chunks[0][1][0] == 7
+    # All-empty runs behave like no runs at all.
+    assert list(sorter.sort_runs([(keys[:0], values[:0])])) == []
+
+
+def test_sort_runs_rejects_mismatched_run():
+    sorter = ExternalSorter(SimulatedDisk(), memory_bytes=1024)
+    with pytest.raises(ValueError):
+        list(sorter.sort_runs([(np.array([b"a"], dtype="S1"), np.arange(2))]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=300),
+    chunk=st.integers(min_value=1, max_value=128),
+    memory_records=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_sort_runs_equals_sort(n, chunk, memory_records, seed):
+    """Presorted chunk runs merge to exactly what sort() produces.
+
+    Runs are contiguous input chunks, each stably presorted — the
+    contract of the parallel summarization pipeline — covering the
+    in-memory merge, the spilled merge, empty input and 1-record runs.
+    """
+    keys, values = make_records(n, seed=seed)
+    runs = []
+    for at in range(0, n, chunk):
+        chunk_keys = keys[at : at + chunk]
+        chunk_values = values[at : at + chunk]
+        order = np.argsort(chunk_keys, kind="stable")
+        runs.append((chunk_keys[order], chunk_values[order]))
+    sorter = ExternalSorter(SimulatedDisk(page_size=256), 16 * memory_records)
+    parts = list(sorter.sort_runs(runs))
+    reference = ExternalSorter(SimulatedDisk(page_size=256), 16 * memory_records)
+    want_keys, want_values = sort_to_arrays(reference, keys, values)
+    if parts:
+        got_keys = np.concatenate([k for k, _ in parts])
+        got_values = np.concatenate([v for _, v in parts])
+        np.testing.assert_array_equal(got_keys, want_keys)
+        np.testing.assert_array_equal(got_values, want_values)
+    else:
+        assert n == 0

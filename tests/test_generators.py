@@ -71,3 +71,26 @@ def test_query_workload_differs_from_dataset():
     queries = query_workload("randomwalk", 16, length=64, seed=5)
     assert queries.shape == (16, 64)
     assert not np.array_equal(data, queries)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_query_workload_deterministic_given_seed(name):
+    """Two runs with the same seed produce identical query workloads."""
+    a = query_workload(name, 6, length=64, seed=9)
+    b = query_workload(name, 6, length=64, seed=9)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_query_stream_independent_of_data_stream():
+    """Same seed, different streams: queries never equal the data."""
+    data = make_dataset("randomwalk", 8, length=64, seed=3)
+    queries = query_workload("randomwalk", 8, length=64, seed=3)
+    assert not np.array_equal(data, queries)
+
+
+def test_unseeded_workloads_are_not_secretly_identical():
+    """Regression: seed=None used to alias seed 0 for query workloads."""
+    a = query_workload("randomwalk", 4, length=32, seed=None)
+    b = query_workload("randomwalk", 4, length=32, seed=None)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, make_dataset("randomwalk", 4, length=32, seed=0x5EED))

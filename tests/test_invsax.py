@@ -171,3 +171,34 @@ def test_property_zorder_monotone_in_msb(seed):
     # The first w key bits are exactly the per-segment MSBs, so the
     # sorted order must be primarily ordered by that bit plane.
     assert np.all(np.diff(msb_plane[order]) >= 0)
+
+
+def test_interleave_zero_records():
+    """Regression: zero-record inputs interleave to zero keys."""
+    for empty in (
+        np.empty((0, 4), dtype=np.uint32),
+        np.empty((0,), dtype=np.uint32),
+        np.empty((0, 2), dtype=np.uint32),  # shape checks don't apply at n=0
+    ):
+        keys = interleave_words(empty, CONFIG)
+        assert keys.shape == (0,)
+        assert keys.dtype == CONFIG.key_dtype
+
+
+def test_deinterleave_zero_keys():
+    words = deinterleave_keys(np.empty(0, dtype=CONFIG.key_dtype), CONFIG)
+    assert words.shape == (0, CONFIG.word_length)
+
+
+def test_invsax_keys_zero_series():
+    keys = invsax_keys(np.empty((0, 64)), CONFIG)
+    assert keys.shape == (0,)
+    assert keys.dtype == CONFIG.key_dtype
+
+
+def test_single_record_roundtrip():
+    """Regression companion: one record survives the full key cycle."""
+    words = np.array([[3, 1, 4, 15]], dtype=np.uint16)
+    keys = interleave_words(words, CONFIG)
+    assert keys.shape == (1,)
+    np.testing.assert_array_equal(deinterleave_keys(keys, CONFIG), words)

@@ -120,3 +120,23 @@ def test_buffer_pool_attachment_caches_reads():
     raw.attach_pool(None)
     raw.get(0)
     assert disk.stats.total_reads == 1
+
+
+def test_scan_with_page_unaligned_records():
+    """Regression: records that do not divide the page size evenly.
+
+    Each page then carries tail padding; scan() must strip it per page
+    instead of parsing records across it (which silently misaligned
+    every record after the first page and corrupted the serial-scan
+    oracle for such lengths).
+    """
+    rng = np.random.default_rng(4)
+    data = rng.standard_normal((25, 12)).astype(np.float32)  # 48B records
+    disk = SimulatedDisk(page_size=256)  # 5 records + 16B padding per page
+    raw = RawSeriesFile.create(disk, data)
+    assert raw.series_per_page * raw.record_bytes != disk.page_size
+    blocks = [block for _, block in raw.scan()]
+    np.testing.assert_array_equal(np.concatenate(blocks), data)
+    chunked = [block for _, block in raw.scan(chunk_series=7)]
+    np.testing.assert_array_equal(np.concatenate(chunked), data)
+    np.testing.assert_array_equal(raw.get_many(np.arange(25)), data)
