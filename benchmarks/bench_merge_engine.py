@@ -1,0 +1,116 @@
+"""Vectorized k-way merge engine vs. the per-record heapq reference.
+
+The merge phase of the external sort was the last record-at-a-time
+Python loop in the bulk-loading pipeline.  The blockwise engine
+(:mod:`repro.storage.merge`) replaces it with NumPy galloping over
+page-sized blocks; this benchmark measures the speedup and *asserts*
+the engine's contract on every cell:
+
+* byte-identical output stream and chunk shapes,
+* identical ``SortReport`` and identical simulated-I/O trace
+  (``DiskStats``, sequential/random classification included),
+* at the headline configuration (>= 32 runs, >= 200k records) the
+  blockwise engine must be >= 5x faster than the heapq oracle,
+* the parallel range-partitioned in-memory merge stays byte-identical
+  for every worker count (its speedup depends on cores, so only
+  equivalence is gated).
+
+Any equivalence violation raises, which is what CI's tiny smoke
+configuration is for.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_merge_engine.py \
+        [--records N ...] [--runs K ...] [--workers W ...] [--json PATH]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.bench import print_experiment
+from repro.bench.harness import run_merge_engine_sweep
+
+#: Headline configuration the >= 5x gate applies to.
+GATE_RECORDS = 200_000
+GATE_RUNS = 32
+GATE_SPEEDUP = 5.0
+
+
+def check(rows: list) -> None:
+    """Assert the equivalence contract and the headline speedup gate."""
+    for row in rows:
+        assert row["identical"], f"output-equivalence violation: {row}"
+        assert row["io_identical"], f"I/O-equivalence violation: {row}"
+    gated = [
+        row
+        for row in rows
+        if row["engine"] == "blockwise"
+        and row["records"] >= GATE_RECORDS
+        and row["runs"] >= GATE_RUNS
+    ]
+    for row in gated:
+        assert row["speedup"] >= GATE_SPEEDUP, (
+            f"expected >= {GATE_SPEEDUP}x over heapq at "
+            f"{row['records']} records / {row['runs']} runs, "
+            f"got {row['speedup']:.2f}x"
+        )
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, nargs="+",
+                        default=[50_000, GATE_RECORDS])
+    parser.add_argument("--runs", type=int, nargs="+", default=[8, GATE_RUNS])
+    parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--dup-alphabet", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", default="",
+        help="write rows as JSON to this path ('-' for stdout)",
+    )
+    args = parser.parse_args(argv[1:])
+    rows = run_merge_engine_sweep(
+        args.records,
+        args.runs,
+        workers_list=args.workers,
+        seed=args.seed,
+        dup_alphabet=args.dup_alphabet,
+    )
+    print_experiment("k-way merge engines (heapq vs blockwise vs parallel)", rows)
+    check(rows)
+    if args.json:
+        payload = json.dumps(
+            {
+                "benchmark": "merge_engine",
+                "config": {
+                    "records": args.records,
+                    "runs": args.runs,
+                    "workers": args.workers,
+                    "dup_alphabet": args.dup_alphabet,
+                    "seed": args.seed,
+                },
+                "rows": rows,
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+def bench_merge_engine(benchmark):
+    """pytest-benchmark entry point (tiny, correctness-focused)."""
+    rows = benchmark.pedantic(
+        run_merge_engine_sweep,
+        args=([20_000], [8]),
+        kwargs={"workers_list": [2]},
+        rounds=1,
+        iterations=1,
+    )
+    check(rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

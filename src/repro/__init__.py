@@ -47,6 +47,7 @@ from .parallel import (
     ParallelSummarizer,
     batched_exact_knn,
     parallel_invsax_keys,
+    parallel_merge_runs,
 )
 from .series import (
     astronomy,
@@ -104,6 +105,7 @@ __all__ = [
     "invsax_keys",
     "make_dataset",
     "parallel_invsax_keys",
+    "parallel_merge_runs",
     "query_key",
     "query_workload",
     "random_walk",

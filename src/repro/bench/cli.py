@@ -12,6 +12,7 @@ Examples::
     python -m repro.bench query --mode exact --dataset seismic
     python -m repro.bench query --batch --k 5 --indexes CTree Serial
     python -m repro.bench parallel --index CTreeFull --workers 1 2 4
+    python -m repro.bench merge --records 200000 --runs 32 --workers 2 4
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
 
@@ -32,6 +33,7 @@ from .harness import (
     SECONDARY_GROUP,
     run_batch_query_experiment,
     run_build_sweep,
+    run_merge_engine_sweep,
     run_parallel_build_sweep,
     run_query_experiment,
     run_update_workload,
@@ -101,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker counts to sweep (put 1 first for the baseline)",
     )
 
+    merge = commands.add_parser(
+        "merge", help="k-way merge engine comparison (heapq vs blockwise)"
+    )
+    merge.add_argument(
+        "--records", type=int, nargs="+", default=[200_000],
+        help="total records per merge cell",
+    )
+    merge.add_argument(
+        "--runs", type=int, nargs="+", default=[32],
+        help="presorted run counts to merge",
+    )
+    merge.add_argument(
+        "--workers", type=int, nargs="+", default=[],
+        help="also time the parallel range-partitioned in-memory merge",
+    )
+    merge.add_argument(
+        "--dup-alphabet", type=int, default=0,
+        help="draw key bytes from this many values (duplicate-heavy keys)",
+    )
+    merge.add_argument("--seed", type=int, default=7)
+
     space = commands.add_parser("space", help="index size and fill factors")
     _add_dataset_arguments(space)
 
@@ -119,7 +142,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--batch compares exact search only; drop --mode")
     if args.command == "query" and not args.batch and args.k != 1:
         parser.error("--k only applies to the batched experiment; add --batch")
-    spec = _spec(args)
+    spec = _spec(args) if args.command != "merge" else None
     if args.command == "build":
         group = (
             SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
@@ -139,6 +162,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "parallel":
         rows = run_parallel_build_sweep(args.index, spec, args.workers)
         print_experiment("parallel build scaling", rows)
+    elif args.command == "merge":
+        rows = run_merge_engine_sweep(
+            args.records,
+            args.runs,
+            workers_list=args.workers,
+            seed=args.seed,
+            dup_alphabet=args.dup_alphabet,
+        )
+        print_experiment("k-way merge engines", rows)
     elif args.command == "space":
         rows = run_build_sweep(
             MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25]

@@ -30,12 +30,17 @@ page-aligned chunks out to a worker pool
 (:class:`repro.parallel.ParallelSummarizer`); each worker returns the
 chunk's invSAX keys presorted, and the presorted runs feed
 :meth:`repro.storage.ExternalSorter.sort_runs` — the partition phase of
-the external sort runs on all cores.  The resulting leaf level is
+the external sort runs on all cores.  The same worker count drives the
+merge phase: resident runs are range-partitioned and merged on a pool
+(:mod:`repro.parallel.merge`), and spilled merges use the vectorized
+blockwise engine (:mod:`repro.storage.merge`; ``merge_engine="heapq"``
+selects the per-record oracle).  The resulting leaf level is
 bit-identical (same keys, same leaf boundaries, same payload order) to
-the serial build for every worker count and chunk size.  Batched
-queries (:meth:`query_batch`) share one SIMS summary scan and every
-fetched page across the whole batch via
-:func:`repro.parallel.batched_exact_knn`.
+the serial build for every worker count, chunk size and merge engine.
+Batched queries (:meth:`query_batch`) share one SIMS summary scan and
+every fetched page across the whole batch via
+:func:`repro.parallel.batched_exact_knn`; batched approximate queries
+share leaf reads via :func:`repro.parallel.approx_query_batch`.
 """
 
 from __future__ import annotations
@@ -100,6 +105,7 @@ class CoconutTree(SeriesIndex):
         workers: int = 1,
         chunk_series: int | None = None,
         pool_kind: str = "process",
+        merge_engine: str = "blockwise",
     ):
         super().__init__(disk, memory_bytes)
         if not 0.5 <= fill_factor <= 1.0:
@@ -117,6 +123,7 @@ class CoconutTree(SeriesIndex):
         self.workers = max(1, int(workers))
         self.chunk_series = chunk_series
         self.pool_kind = pool_kind
+        self.merge_engine = merge_engine
         self.name = "Coconut-Tree-Full" if materialized else "Coconut-Tree"
         self._leaves: list[_Leaf] = []
         self._first_keys: np.ndarray | None = None
@@ -161,7 +168,16 @@ class CoconutTree(SeriesIndex):
         self.raw = raw
         with Measurement(self.disk) as measure:
             rec = _record_dtype(self.config, raw.length, self.is_materialized)
-            sorter = ExternalSorter(self.disk, self.memory_bytes)
+            # The sorter keeps its own (thread) merge pool: summarization
+            # ships compute-heavy chunks to processes, but merging whole
+            # resident runs is bandwidth-bound and pickling would eat
+            # the win.
+            sorter = ExternalSorter(
+                self.disk,
+                self.memory_bytes,
+                merge_engine=self.merge_engine,
+                merge_workers=self.workers,
+            )
             if self.workers > 1:
                 runs = self._summarize_runs(raw)
             else:
@@ -365,11 +381,23 @@ class CoconutTree(SeriesIndex):
         )
 
     def _scan_radius(
-        self, query: np.ndarray, key: bytes, lo: int, hi: int, radius: int
+        self,
+        query: np.ndarray,
+        key: bytes,
+        lo: int,
+        hi: int,
+        radius: int,
+        read_leaf=None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Distances to the radius candidates: (identifiers, distances)."""
+        """Distances to the radius candidates: (identifiers, distances).
+
+        ``read_leaf`` overrides the leaf reader — the batched
+        approximate path passes a caching reader so queries landing in
+        the same leaves share each read.
+        """
+        read_leaf = read_leaf or self._read_leaf_records
         records_parts = [
-            self._read_leaf_records(self._leaves[i]) for i in range(lo, hi)
+            read_leaf(self._leaves[i]) for i in range(lo, hi)
         ]
         records_parts = [r for r in records_parts if len(r)]
         if not records_parts:
@@ -475,18 +503,66 @@ class CoconutTree(SeriesIndex):
         return outcome
 
     def query_batch(self, batch):
-        """Batched exact kNN sharing one SIMS pass (repro.parallel.batch).
+        """Batched queries sharing work across the batch (repro.parallel).
 
-        The summary column is loaded once for the whole batch and every
-        fetched record block serves all queries that still need it;
-        answers are identical to issuing the queries one at a time.
-        Approximate batches fall back to the per-query loop.
+        Exact batches share one SIMS pass: the summary column is loaded
+        once and every fetched record block serves all queries that
+        still need it.  Approximate batches share leaf reads: queries
+        are answered in ascending target-leaf order against a per-batch
+        leaf cache, so a leaf several queries land in is read once.
+        Either way, answers are identical to issuing the queries one at
+        a time.
         """
-        if batch.mode != "exact":
-            return super().query_batch(batch)
-        from ..parallel.batch import sims_query_batch
+        from ..parallel.batch import approx_query_batch, sims_query_batch
 
+        if batch.mode == "approximate":
+            return approx_query_batch(self, batch)
         return sims_query_batch(self, batch, self._prepare_sims)
+
+    def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
+        """Per-query approximate answers with a shared leaf cache.
+
+        Mirrors :meth:`approximate_search` exactly (same leaf window,
+        same candidates, same answer); only the leaf reads are
+        deduplicated, and the visit order is ascending by target leaf
+        so the shared reads walk the leaf file forward.
+        """
+        radius = self.default_radius
+        cache: dict[int, np.ndarray] = {}
+
+        def read_leaf(leaf: _Leaf) -> np.ndarray:
+            records = cache.get(leaf.slot)
+            if records is None:
+                records = self._read_leaf_records(leaf)
+                cache[leaf.slot] = records
+            return records
+
+        keys = [query_key(query, self.config) for query in queries]
+        targets = np.array(
+            [self._locate_leaf(key) for key in keys], dtype=np.int64
+        )
+        results: list[QueryResult | None] = [None] * len(queries)
+        for qi in np.argsort(targets, kind="stable"):
+            qi = int(qi)
+            target = int(targets[qi])
+            lo = max(0, target - (radius - 1) // 2)
+            hi = min(len(self._leaves), lo + radius)
+            lo = max(0, hi - radius)
+            identifiers, distances = self._scan_radius(
+                queries[qi], keys[qi], lo, hi, radius, read_leaf=read_leaf
+            )
+            if len(identifiers):
+                j = int(np.argmin(distances))
+                best_idx, best_dist = int(identifiers[j]), float(distances[j])
+            else:
+                best_idx, best_dist = -1, float("inf")
+            results[qi] = QueryResult(
+                answer_idx=best_idx,
+                distance=best_dist,
+                visited_records=len(identifiers),
+                visited_leaves=hi - lo,
+            )
+        return results
 
     def _prepare_sims(self):
         """(words, fetch) of the loaded summary column, for the engines."""

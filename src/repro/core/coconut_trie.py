@@ -65,6 +65,7 @@ class CoconutTrie(SeriesIndex):
         workers: int = 1,
         chunk_series: int | None = None,
         pool_kind: str = "process",
+        merge_engine: str = "blockwise",
     ):
         super().__init__(disk, memory_bytes)
         if leaf_size <= 0:
@@ -75,6 +76,7 @@ class CoconutTrie(SeriesIndex):
         self.workers = max(1, int(workers))
         self.chunk_series = chunk_series
         self.pool_kind = pool_kind
+        self.merge_engine = merge_engine
         self.name = "Coconut-Trie-Full" if materialized else "Coconut-Trie"
         self._leaves: list[_TrieLeaf] = []
         self._first_keys: np.ndarray | None = None
@@ -90,7 +92,13 @@ class CoconutTrie(SeriesIndex):
     def build(self, raw: RawSeriesFile) -> BuildReport:
         self.raw = raw
         with Measurement(self.disk) as measure:
-            sorter = ExternalSorter(self.disk, self.memory_bytes)
+            # Thread-pool merge on purpose: see CoconutTree.build.
+            sorter = ExternalSorter(
+                self.disk,
+                self.memory_bytes,
+                merge_engine=self.merge_engine,
+                merge_workers=self.workers,
+            )
             if self.workers > 1:
                 from ..parallel.summarize import summarize_presorted_runs
 
@@ -333,12 +341,65 @@ class CoconutTrie(SeriesIndex):
         return seeded_sims_knn(self, query, k, self._prepare_sims)
 
     def query_batch(self, batch):
-        """Batched exact kNN sharing one SIMS pass (repro.parallel.batch)."""
-        if batch.mode != "exact":
-            return super().query_batch(batch)
-        from ..parallel.batch import sims_query_batch
+        """Batched queries sharing work across the batch (repro.parallel).
 
+        Exact batches share one SIMS pass; approximate batches share
+        leaf reads — each distinct target leaf is read once for all the
+        queries that land in it.  Answers are identical to the
+        per-query loop either way.
+        """
+        from ..parallel.batch import approx_query_batch, sims_query_batch
+
+        if batch.mode == "approximate":
+            return approx_query_batch(self, batch)
         return sims_query_batch(self, batch, self._prepare_sims)
+
+    def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
+        """Per-query approximate answers with a shared leaf cache.
+
+        Mirrors :meth:`approximate_search` exactly; queries are visited
+        in ascending leaf order and each distinct leaf is read once per
+        batch.
+        """
+        results: list[QueryResult | None] = [None] * len(queries)
+        if not self._leaves:
+            return [QueryResult() for _ in queries]
+        cache: dict[int, np.ndarray] = {}
+
+        def read_leaf(index: int) -> np.ndarray:
+            records = cache.get(index)
+            if records is None:
+                records = self._read_leaf_records(self._leaves[index])
+                cache[index] = records
+            return records
+
+        keys = [query_key(query, self.config) for query in queries]
+        targets = np.array(
+            [self._locate_leaf(key) for key in keys], dtype=np.int64
+        )
+        for qi in np.argsort(targets, kind="stable"):
+            qi = int(qi)
+            records = read_leaf(int(targets[qi]))
+            if self.is_materialized:
+                series = records["series"].astype(np.float64)
+            else:
+                window = max(4, self.raw.series_per_page)
+                probe = np.array([keys[qi]], dtype=self.config.key_dtype)
+                position = int(np.searchsorted(records["k"], probe[0]))
+                start = max(
+                    0, min(position - window // 2, len(records) - window)
+                )
+                records = records[start : start + window]
+                series = self.raw.get_many(records["off"])
+            distances = euclidean_batch(queries[qi], series)
+            j = int(np.argmin(distances))
+            results[qi] = QueryResult(
+                answer_idx=int(records["off"][j]),
+                distance=float(distances[j]),
+                visited_records=len(records),
+                visited_leaves=1,
+            )
+        return results
 
     def _prepare_sims(self):
         """(words, fetch) of the summary column, for the shared engines."""

@@ -16,6 +16,21 @@ the extension is natural:
   search probes each run around the query key; exact search runs the
   SIMS scan over the concatenated in-memory summaries.
 
+Compaction merging
+------------------
+Compaction inputs are already sorted, so merging them is a pure merge,
+not a sort.  The default ``merge_engine="vectorized"`` merges the runs
+pairwise with NumPy searchsorted scatters
+(:func:`repro.storage.merge.merge_presorted`); with ``workers > 1``
+the key space is range-partitioned and the disjoint partitions merge
+on a worker pool (:func:`repro.parallel.merge.parallel_merge_runs`).
+Both paths — and the retained ``merge_engine="argsort"`` oracle, a
+stable argsort of the concatenation — produce bit-identical runs: the
+merge is stable over runs listed in ``self._runs`` order, so ties
+resolve by (run order, position), which is exactly what the argsort of
+the concatenation yields.  Worker count can therefore never change
+what lands on disk, only how fast the merge happens.
+
 Compare with :class:`repro.core.coconut_tree.CoconutTree.insert_batch`,
 which merges batches straight into the leaf level (cheap for big
 batches, expensive for trickles) — the trade-off the Fig. 10a
@@ -31,11 +46,16 @@ import numpy as np
 from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
 from ..series.distance import euclidean_batch
 from ..storage.disk import SimulatedDisk
+from ..storage.merge import merge_presorted
 from ..storage.pager import PagedFile
 from ..storage.seriesfile import RawSeriesFile
 from ..summaries.sax import SAXConfig, sax_words
 from .invsax import deinterleave_keys, interleave_words, query_key
 from .sims import sims_scan
+
+#: Compaction merge strategies (the argsort oracle re-sorts instead of
+#: merging; it is kept for equivalence testing).
+LSM_MERGE_ENGINES = ("vectorized", "argsort")
 
 
 @dataclass
@@ -64,12 +84,23 @@ class CoconutLSM(SeriesIndex):
         memory_bytes: int,
         config: SAXConfig | None = None,
         size_ratio: int = 4,
+        workers: int = 1,
+        pool_kind: str = "thread",
+        merge_engine: str = "vectorized",
     ):
         super().__init__(disk, memory_bytes)
         if size_ratio < 2:
             raise ValueError(f"size_ratio must be >= 2, got {size_ratio}")
+        if merge_engine not in LSM_MERGE_ENGINES:
+            raise ValueError(
+                f"merge_engine must be one of {LSM_MERGE_ENGINES}, "
+                f"got {merge_engine!r}"
+            )
         self.config = config or SAXConfig()
         self.size_ratio = size_ratio
+        self.workers = max(1, int(workers))
+        self.pool_kind = pool_kind
+        self.merge_engine = merge_engine
         self._runs: list[_Run] = []
         self._mem_keys: list[np.ndarray] = []
         self._mem_offsets: list[np.ndarray] = []
@@ -192,11 +223,34 @@ class CoconutLSM(SeriesIndex):
             for run in group:
                 run.file.read_stream(0, run.file.n_pages)
                 self._runs.remove(run)
-            keys = np.concatenate([run.keys for run in group])
-            offsets = np.concatenate([run.offsets for run in group])
-            order = np.argsort(keys, kind="stable")
-            self._write_run(keys[order], offsets[order], level=level + 1)
+            keys, offsets = self._merge_group(group)
+            self._write_run(keys, offsets, level=level + 1)
             self.n_merges += 1
+
+    def _merge_group(
+        self, group: "list[_Run]"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Stable merge of a compaction group's sorted components.
+
+        Components are merged in ``self._runs`` order; all three
+        strategies (argsort oracle, vectorized pairwise, parallel
+        range-partitioned) are bit-identical — see the module
+        docstring.
+        """
+        runs = [(run.keys, run.offsets) for run in group]
+        if self.merge_engine == "argsort":
+            keys = np.concatenate([k for k, _ in runs])
+            offsets = np.concatenate([o for _, o in runs])
+            order = np.argsort(keys, kind="stable")
+            return keys[order], offsets[order]
+        if self.workers > 1 and len(runs) > 1:
+            # Lazy import: repro.parallel pulls in the index layer.
+            from ..parallel.merge import parallel_merge_runs
+
+            return parallel_merge_runs(
+                runs, workers=self.workers, kind=self.pool_kind
+            )
+        return merge_presorted(runs)
 
     # ------------------------------------------------------------------
     # Queries

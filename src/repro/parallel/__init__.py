@@ -10,16 +10,29 @@ any number of producers.  This package supplies both halves:
   runs feed :meth:`repro.storage.ExternalSorter.sort_runs` directly,
   so bulk-loading uses all cores while producing bit-identical indexes
   to the serial path.
+* :mod:`repro.parallel.merge` — a range-partitioned parallel merge of
+  presorted runs: splitter keys sampled from run boundaries cut every
+  run into disjoint key ranges that workers merge independently, with
+  output bit-identical to the serial merge for any worker count.  It
+  parallelizes the merge phase of the external sort and Coconut-LSM
+  compaction.
 * :mod:`repro.parallel.batch` — a batched exact-kNN executor that
   answers many queries in one skip-sequential SIMS pass, sharing the
-  summary scan and every fetched page across the whole batch.
+  summary scan and every fetched page across the whole batch, plus a
+  batched *approximate* executor that groups queries by target leaf so
+  each leaf is read once per batch.
 
-Both are wired into the index classes (``workers=`` on the Coconut
+All are wired into the index classes (``workers=`` on the Coconut
 constructors, ``query_batch()`` on every index) and into the benchmark
 CLI as ``--workers`` / ``--batch``.
 """
 
-from .batch import batched_exact_knn, build_batch_report
+from .batch import approx_query_batch, batched_exact_knn, build_batch_report
+from .merge import (
+    parallel_merge_runs,
+    partition_runs,
+    sample_splitters,
+)
 from .summarize import (
     DEFAULT_CHUNK_SERIES,
     ParallelSummarizer,
@@ -32,10 +45,14 @@ from .summarize import (
 __all__ = [
     "DEFAULT_CHUNK_SERIES",
     "ParallelSummarizer",
+    "approx_query_batch",
     "batched_exact_knn",
     "build_batch_report",
     "parallel_invsax_keys",
+    "parallel_merge_runs",
+    "partition_runs",
     "resolve_workers",
+    "sample_splitters",
     "summarize_chunk",
     "summarize_presorted_runs",
 ]

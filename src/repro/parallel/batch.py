@@ -132,6 +132,33 @@ def sims_query_batch(index, batch, prepare) -> BatchReport:
     return build_batch_report(outcomes, measure)
 
 
+def approx_query_batch(index, batch) -> BatchReport:
+    """Shared-leaf-read approximate batch (one read per distinct leaf).
+
+    Indexes whose approximate search inspects a leaf (or a small range
+    of physically adjacent leaves) around the query's key implement
+    ``_approximate_batch(queries)``: the batch is answered in ascending
+    target-leaf order with a per-batch leaf cache, so a leaf shared by
+    several queries is read once and the visits walk the leaf file
+    forward.  Answers — indexes, distances, visited counts — are
+    identical to issuing :meth:`approximate_search` per query; only the
+    I/O totals shrink.
+    """
+    queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
+    with Measurement(index.disk) as measure:
+        results = index._approximate_batch(queries)
+    ids = [[r.answer_idx] if r.answer_idx >= 0 else [] for r in results]
+    distances = [[r.distance] if r.answer_idx >= 0 else [] for r in results]
+    return BatchReport(
+        results=results,
+        knn_ids=ids,
+        knn_distances=distances,
+        io=measure.io,
+        simulated_io_ms=measure.simulated_io_ms,
+        wall_s=measure.wall_s,
+    )
+
+
 def build_batch_report(
     outcomes: list[KNNOutcome], measure: Measurement
 ) -> BatchReport:

@@ -11,6 +11,16 @@ from .bufferpool import BufferPool
 from .cost import SSD_COST, UNIFORM_COST, CostModel, DiskStats
 from .disk import PageError, SimulatedDisk
 from .external_sort import ExternalSorter, SortReport, sort_to_arrays
+from .merge import (
+    MERGE_ENGINES,
+    LoserTree,
+    RunCursor,
+    blockwise_merge_stream,
+    heapq_merge_stream,
+    merge_pair,
+    merge_presorted,
+    merge_stream,
+)
 from .pager import Extent, PagedFile
 from .seriesfile import RawSeriesFile
 
@@ -20,12 +30,20 @@ __all__ = [
     "DiskStats",
     "Extent",
     "ExternalSorter",
+    "LoserTree",
+    "MERGE_ENGINES",
     "PageError",
     "PagedFile",
     "RawSeriesFile",
+    "RunCursor",
     "SimulatedDisk",
     "SortReport",
     "SSD_COST",
     "UNIFORM_COST",
+    "blockwise_merge_stream",
+    "heapq_merge_stream",
+    "merge_pair",
+    "merge_presorted",
+    "merge_stream",
     "sort_to_arrays",
 ]

@@ -14,6 +14,16 @@ parallel summarization pipeline (:mod:`repro.parallel.summarize`)
 presorts chunks on worker processes — and merges them into the exact
 stream ``sort`` would have produced.
 
+The merge phase is engine-pluggable (:mod:`repro.storage.merge`): the
+default ``"blockwise"`` engine merges page-sized blocks with NumPy
+galloping and is bit-identical — output stream, chunk shapes, and
+simulated-I/O trace — to the ``"heapq"`` per-record reference, which
+remains available as the correctness oracle.  When the merge happens
+in memory (the runs fit the budget), ``merge_workers > 1`` additionally
+range-partitions the key space and merges the disjoint partitions on a
+worker pool (:func:`repro.parallel.merge.parallel_merge_runs`), again
+with bit-identical output for any worker count.
+
 Keys are fixed-width byte strings (NumPy ``S<k>`` arrays); NumPy sorts
 them lexicographically, which for big-endian encoded invSAX words is
 exactly z-order.  Payloads are arbitrary fixed-size rows (an int64 file
@@ -24,13 +34,13 @@ moves through the disk.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
 from .disk import SimulatedDisk
+from .merge import MERGE_ENGINES, merge_presorted, merge_stream
 from .pager import PagedFile
 
 
@@ -52,77 +62,39 @@ def _record_dtype(keys: np.ndarray, payloads: np.ndarray) -> np.dtype:
     return np.dtype([("k", keys.dtype), ("v", payloads.dtype, payloads.shape[1:])])
 
 
-class _RunCursor:
-    """Buffered reader over one sorted run stored as a byte stream."""
+class ExternalSorter:
+    """Sorts (key, payload) records under a main-memory budget.
+
+    ``merge_engine`` selects the k-way merge implementation for spilled
+    sorts (``"blockwise"`` — vectorized, the default — or ``"heapq"``,
+    the per-record oracle); both are bit-identical in output and
+    simulated I/O.  ``merge_workers > 1`` parallelizes the in-memory
+    merge of presorted runs by key-range partitioning.  ``pool_kind``
+    defaults to threads, unlike the summarization pipeline: merging is
+    memory-bandwidth-bound NumPy work that releases the GIL, and a
+    process pool would spend more time pickling whole runs across the
+    boundary than merging them.
+    """
 
     def __init__(
         self,
-        file: PagedFile,
-        n_records: int,
-        rec_dtype: np.dtype,
-        buffer_records: int,
+        disk: SimulatedDisk,
+        memory_bytes: int,
+        merge_engine: str = "blockwise",
+        merge_workers: int = 1,
+        pool_kind: str = "thread",
     ):
-        self.file = file
-        self.n_records = n_records
-        self.rec_dtype = rec_dtype
-        self.buffer_records = max(1, buffer_records)
-        self._next_page = 0
-        self._records_out = 0
-        self._remainder = b""
-        self._chunk: np.ndarray | None = None
-        self._pos = 0
-        self._refill()
-
-    @property
-    def exhausted(self) -> bool:
-        return self._chunk is None or self._pos >= len(self._chunk)
-
-    def peek_key(self) -> bytes:
-        return bytes(self._chunk["k"][self._pos])
-
-    def pop(self) -> np.void:
-        rec = self._chunk[self._pos]
-        self._pos += 1
-        if self._pos >= len(self._chunk):
-            self._refill()
-        return rec
-
-    def _refill(self) -> None:
-        left = self.n_records - self._records_out
-        if left <= 0:
-            self._chunk = None
-            return
-        want = min(self.buffer_records, left)
-        itemsize = self.rec_dtype.itemsize
-        need_bytes = want * itemsize - len(self._remainder)
-        page_size = self.file.disk.page_size
-        n_pages = max(0, -(-need_bytes // page_size))
-        n_pages = min(n_pages, self.file.n_pages - self._next_page)
-        if n_pages > 0:
-            data = self._remainder + self.file.read_stream(self._next_page, n_pages)
-            self._next_page += n_pages
-        else:
-            data = self._remainder
-        n_complete = min(len(data) // itemsize, left)
-        if n_complete == 0:
-            self._chunk = None
-            return
-        self._chunk = np.frombuffer(
-            data[: n_complete * itemsize], dtype=self.rec_dtype
-        )
-        self._remainder = data[n_complete * itemsize :]
-        self._records_out += n_complete
-        self._pos = 0
-
-
-class ExternalSorter:
-    """Sorts (key, payload) records under a main-memory budget."""
-
-    def __init__(self, disk: SimulatedDisk, memory_bytes: int):
         if memory_bytes <= 0:
             raise ValueError(f"memory_bytes must be positive, got {memory_bytes}")
+        if merge_engine not in MERGE_ENGINES:
+            raise ValueError(
+                f"merge_engine must be one of {MERGE_ENGINES}, got {merge_engine!r}"
+            )
         self.disk = disk
         self.memory_bytes = memory_bytes
+        self.merge_engine = merge_engine
+        self.merge_workers = max(1, int(merge_workers))
+        self.pool_kind = pool_kind
         self.report = SortReport()
 
     def sort(
@@ -242,33 +214,7 @@ class ExternalSorter:
         mem_records: int,
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         buffer_records = max(1, mem_records // (len(runs) + 1))
-
-        def merged() -> Iterator[tuple[np.ndarray, np.ndarray]]:
-            cursors = [
-                _RunCursor(run, count, rec_dtype, buffer_records)
-                for run, count in runs
-            ]
-            heap = [
-                (cursor.peek_key(), i)
-                for i, cursor in enumerate(cursors)
-                if not cursor.exhausted
-            ]
-            heapq.heapify(heap)
-            out = np.empty(buffer_records, dtype=rec_dtype)
-            filled = 0
-            while heap:
-                _, i = heapq.heappop(heap)
-                out[filled] = cursors[i].pop()
-                filled += 1
-                if not cursors[i].exhausted:
-                    heapq.heappush(heap, (cursors[i].peek_key(), i))
-                if filled == buffer_records:
-                    yield out["k"].copy(), out["v"].copy()
-                    filled = 0
-            if filled:
-                yield out["k"][:filled].copy(), out["v"][:filled].copy()
-
-        return merged()
+        return merge_stream(self.merge_engine, runs, rec_dtype, buffer_records)
 
     # ------------------------------------------------------------------
     def sort_runs(
@@ -300,7 +246,7 @@ class ExternalSorter:
         )
         mem_records = max(2, self.memory_bytes // rec_dtype.itemsize)
         if n <= mem_records:
-            keys, payloads = _merge_presorted(runs)
+            keys, payloads = self._merge_in_memory(runs)
 
             def chunks() -> Iterator[tuple[np.ndarray, np.ndarray]]:
                 for i in range(0, n, mem_records):
@@ -319,32 +265,18 @@ class ExternalSorter:
         self.report.run_pages = sum(run.n_pages for run, _ in files)
         return self._merge_spilled(files, rec_dtype, mem_records)
 
+    def _merge_in_memory(
+        self, runs: list[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge resident presorted runs, in parallel when configured."""
+        if self.merge_workers > 1 and len(runs) > 1:
+            # Lazy import: repro.parallel pulls in the index layer.
+            from ..parallel.merge import parallel_merge_runs
 
-def _merge_pair(
-    left: tuple[np.ndarray, np.ndarray], right: tuple[np.ndarray, np.ndarray]
-) -> tuple[np.ndarray, np.ndarray]:
-    """Stable vectorized merge of two sorted runs (left wins ties)."""
-    k1, p1 = left
-    k2, p2 = right
-    pos1 = np.arange(len(k1)) + np.searchsorted(k2, k1, side="left")
-    pos2 = np.arange(len(k2)) + np.searchsorted(k1, k2, side="right")
-    keys = np.empty(len(k1) + len(k2), dtype=k1.dtype)
-    payloads = np.empty(len(p1) + len(p2), dtype=p1.dtype)
-    keys[pos1], keys[pos2] = k1, k2
-    payloads[pos1], payloads[pos2] = p1, p2
-    return keys, payloads
-
-
-def _merge_presorted(
-    runs: list[tuple[np.ndarray, np.ndarray]]
-) -> tuple[np.ndarray, np.ndarray]:
-    """Reduce adjacent sorted runs pairwise until one remains."""
-    while len(runs) > 1:
-        runs = [
-            _merge_pair(runs[i], runs[i + 1]) if i + 1 < len(runs) else runs[i]
-            for i in range(0, len(runs), 2)
-        ]
-    return runs[0]
+            return parallel_merge_runs(
+                runs, workers=self.merge_workers, kind=self.pool_kind
+            )
+        return merge_presorted(runs)
 
 
 def sort_to_arrays(

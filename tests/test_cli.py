@@ -73,6 +73,16 @@ def test_parallel_command(capsys):
     assert "speedup" in out
 
 
+def test_merge_command(capsys):
+    code = main(["merge", "--records", "4000", "--runs", "4",
+                 "--workers", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "k-way merge engines" in out
+    assert "blockwise" in out and "parallel[2w]" in out
+    assert "io_identical" in out
+
+
 def test_query_batch_knn_works_with_default_indexes(capsys):
     """Regression: --batch --k 2 crashed on ADS+ (no k-NN override)."""
     code = main(["query", "--n", "300", "--length", "64", "--queries", "2",

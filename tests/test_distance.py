@@ -57,6 +57,45 @@ def test_early_abandon_returns_inf_beyond_threshold():
     assert early_abandon_euclidean(a, b, 1.0) == float("inf")
 
 
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        min_size=1,
+        max_size=200,
+    ),
+    threshold=st.floats(0, 100),
+    chunk=st.integers(min_value=1, max_value=64),
+)
+def test_property_early_abandon_outcome_matches_full_distance(
+    data, threshold, chunk
+):
+    """inf iff the true distance exceeds the threshold, for any chunk.
+
+    The chunked partial sums only ever grow, so abandoning between
+    chunks can never flip the outcome: the result is inf exactly when
+    the full distance is beyond best-so-far, and the full distance
+    otherwise — regardless of chunk size.
+    """
+    a = np.array([x for x, _ in data])
+    b = np.array([y for _, y in data])
+    full = euclidean(a, b)
+    got = early_abandon_euclidean(a, b, threshold, chunk=chunk)
+    if full > threshold * (1 + 1e-9) + 1e-9:
+        assert got == float("inf")
+    elif full < threshold * (1 - 1e-9) - 1e-9:
+        assert got == pytest.approx(full)
+    else:  # exactly at the threshold: either outcome is faithful
+        assert got == float("inf") or got == pytest.approx(full)
+
+
+def test_early_abandon_vectorized_abandons_between_chunks():
+    """A huge early chunk triggers inf without summing the tail."""
+    a = np.zeros(128)
+    b = np.concatenate([np.full(32, 100.0), np.zeros(96)])
+    assert early_abandon_euclidean(a, b, 5.0, chunk=32) == float("inf")
+
+
 def test_dtw_identity_and_symmetry():
     rng = np.random.default_rng(3)
     a, b = rng.standard_normal((2, 24))
