@@ -63,10 +63,12 @@ from .series import (
 from .storage import (
     BufferPool,
     CostModel,
+    DiskShard,
     DiskStats,
     ExternalSorter,
     PagedFile,
     RawSeriesFile,
+    ShardedDisk,
     SimulatedDisk,
 )
 from .summaries import SAXConfig
@@ -82,6 +84,7 @@ __all__ = [
     "CoconutTrie",
     "CostModel",
     "DSTree",
+    "DiskShard",
     "DiskStats",
     "ExternalSorter",
     "ISAX2Index",
@@ -94,6 +97,7 @@ __all__ = [
     "SAXConfig",
     "SerialScan",
     "SeriesIndex",
+    "ShardedDisk",
     "SimulatedDisk",
     "VerticalIndex",
     "astronomy",

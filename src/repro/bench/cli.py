@@ -13,6 +13,7 @@ Examples::
     python -m repro.bench query --batch --k 5 --indexes CTree Serial
     python -m repro.bench parallel --index CTreeFull --workers 1 2 4
     python -m repro.bench merge --records 200000 --runs 32 --workers 2 4
+    python -m repro.bench spilled --records 200000 --runs 8 --workers 4
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
 
@@ -36,6 +37,7 @@ from .harness import (
     run_merge_engine_sweep,
     run_parallel_build_sweep,
     run_query_experiment,
+    run_spilled_merge_sweep,
     run_update_workload,
 )
 from .report import print_experiment
@@ -124,6 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("--seed", type=int, default=7)
 
+    spilled = commands.add_parser(
+        "spilled",
+        help="sharded parallel spilled-run merge vs the serial sorter",
+    )
+    spilled.add_argument(
+        "--records", type=int, nargs="+", default=[200_000],
+        help="total records per merge cell (budget forces a spill)",
+    )
+    spilled.add_argument(
+        "--runs", type=int, nargs="+", default=[8],
+        help="presorted run counts to spill and merge",
+    )
+    spilled.add_argument(
+        "--workers", type=int, nargs="+", default=[2, 4],
+        help="partition/worker counts for the sharded cascade",
+    )
+    spilled.add_argument(
+        "--payload-dims", type=int, default=16,
+        help="float32 payload columns per record (0 = int64 offsets)",
+    )
+    spilled.add_argument("--dup-alphabet", type=int, default=0)
+    spilled.add_argument("--seed", type=int, default=7)
+
     space = commands.add_parser("space", help="index size and fill factors")
     _add_dataset_arguments(space)
 
@@ -142,7 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--batch compares exact search only; drop --mode")
     if args.command == "query" and not args.batch and args.k != 1:
         parser.error("--k only applies to the batched experiment; add --batch")
-    spec = _spec(args) if args.command != "merge" else None
+    spec = _spec(args) if args.command not in ("merge", "spilled") else None
     if args.command == "build":
         group = (
             SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
@@ -171,6 +196,16 @@ def main(argv: list[str] | None = None) -> int:
             dup_alphabet=args.dup_alphabet,
         )
         print_experiment("k-way merge engines", rows)
+    elif args.command == "spilled":
+        rows = run_spilled_merge_sweep(
+            args.records,
+            args.runs,
+            workers_list=args.workers,
+            seed=args.seed,
+            dup_alphabet=args.dup_alphabet,
+            payload_dims=args.payload_dims,
+        )
+        print_experiment("sharded spilled-run merging", rows)
     elif args.command == "space":
         rows = run_build_sweep(
             MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25]

@@ -32,11 +32,16 @@ chunk's invSAX keys presorted, and the presorted runs feed
 :meth:`repro.storage.ExternalSorter.sort_runs` — the partition phase of
 the external sort runs on all cores.  The same worker count drives the
 merge phase: resident runs are range-partitioned and merged on a pool
-(:mod:`repro.parallel.merge`), and spilled merges use the vectorized
-blockwise engine (:mod:`repro.storage.merge`; ``merge_engine="heapq"``
-selects the per-record oracle).  The resulting leaf level is
-bit-identical (same keys, same leaf boundaries, same payload order) to
-the serial build for every worker count, chunk size and merge engine.
+(:mod:`repro.parallel.merge`), and *spilled* runs now merge the same
+way on the sharded storage layer (:mod:`repro.parallel.spill`) — each
+cascade group's key range is partitioned and every partition streams
+its slices of the run files through a private
+:class:`repro.storage.disk.DiskShard`, so ``workers=N`` parallelizes
+partition, resident merge and the file-backed cascade alike
+(``merge_engine="heapq"`` selects the per-record oracle).  The
+resulting leaf level is bit-identical (same keys, same leaf
+boundaries, same payload order) to the serial build for every worker
+count, chunk size and merge engine.
 Batched queries (:meth:`query_batch`) share one SIMS summary scan and
 every fetched page across the whole batch via
 :func:`repro.parallel.batched_exact_knn`; batched approximate queries
@@ -168,10 +173,11 @@ class CoconutTree(SeriesIndex):
         self.raw = raw
         with Measurement(self.disk) as measure:
             rec = _record_dtype(self.config, raw.length, self.is_materialized)
-            # The sorter keeps its own (thread) merge pool: summarization
-            # ships compute-heavy chunks to processes, but merging whole
-            # resident runs is bandwidth-bound and pickling would eat
-            # the win.
+            # The sorter keeps its own merge pool ("auto": threads for
+            # large payloads, which release the GIL; processes for tiny
+            # ones): summarization ships compute-heavy chunks to
+            # processes, but merging runs is bandwidth-bound and the
+            # sharded spilled cascade shares the simulated device.
             sorter = ExternalSorter(
                 self.disk,
                 self.memory_bytes,

@@ -92,7 +92,8 @@ class CoconutTrie(SeriesIndex):
     def build(self, raw: RawSeriesFile) -> BuildReport:
         self.raw = raw
         with Measurement(self.disk) as measure:
-            # Thread-pool merge on purpose: see CoconutTree.build.
+            # The sorter keeps its own merge pool; ``workers`` also
+            # drives the sharded spilled cascade — see CoconutTree.build.
             sorter = ExternalSorter(
                 self.disk,
                 self.memory_bytes,

@@ -22,14 +22,20 @@ Compaction inputs are already sorted, so merging them is a pure merge,
 not a sort.  The default ``merge_engine="vectorized"`` merges the runs
 pairwise with NumPy searchsorted scatters
 (:func:`repro.storage.merge.merge_presorted`); with ``workers > 1``
-the key space is range-partitioned and the disjoint partitions merge
-on a worker pool (:func:`repro.parallel.merge.parallel_merge_runs`).
-Both paths — and the retained ``merge_engine="argsort"`` oracle, a
-stable argsort of the concatenation — produce bit-identical runs: the
-merge is stable over runs listed in ``self._runs`` order, so ties
-resolve by (run order, position), which is exactly what the argsort of
-the concatenation yields.  Worker count can therefore never change
-what lands on disk, only how fast the merge happens.
+compaction runs on the sharded storage layer
+(:func:`repro.parallel.spill.sharded_spill_merge`): the key space is
+range-partitioned, each partition reads its record slices of the input
+run files through a private :class:`repro.storage.disk.DiskShard` and
+writes a disjoint extent of the output run, and the shards are
+reconciled deterministically in partition order.  All paths — the
+serial merge, the sharded merge for any worker count or splitter
+sample, and the retained ``merge_engine="argsort"`` oracle, a stable
+argsort of the concatenation — produce bit-identical runs: the merge
+is stable over runs listed in ``self._runs`` order, so ties resolve by
+(run order, position), which is exactly what the argsort of the
+concatenation yields.  Worker count can therefore never change what
+lands on disk, only how fast the merge happens; the sharded plan's
+DiskStats are pinned to its serial replay (``pool_kind="serial"``).
 
 Compare with :class:`repro.core.coconut_tree.CoconutTree.insert_batch`,
 which merges batches straight into the leaf level (cheap for big
@@ -218,24 +224,69 @@ class CoconutLSM(SeriesIndex):
                 return
             level = min(overflow)
             group = levels[level]
-            # Merge: read every input run (sequential), write one
-            # output run (sequential) at the next level.
-            for run in group:
-                run.file.read_stream(0, run.file.n_pages)
-                self._runs.remove(run)
-            keys, offsets = self._merge_group(group)
-            self._write_run(keys, offsets, level=level + 1)
+            if (
+                self.workers > 1
+                and len(group) > 1
+                and self.merge_engine != "argsort"
+            ):
+                self._sharded_compact(group, level)
+            else:
+                # Serial merge: read every input run (sequential),
+                # write one output run (sequential) at the next level.
+                for run in group:
+                    run.file.read_stream(0, run.file.n_pages)
+                    self._runs.remove(run)
+                keys, offsets = self._merge_group(group)
+                self._write_run(keys, offsets, level=level + 1)
             self.n_merges += 1
+
+    def _sharded_compact(self, group: "list[_Run]", level: int) -> None:
+        """Compaction on the sharded storage layer (``workers > 1``).
+
+        Each key-range partition reads its slices of the input run
+        files through its own shard and writes a disjoint extent of
+        the next level's run; the merged record stream — and the run
+        mirrors collected from the partitions — are bit-identical to
+        the serial merge for any worker count or splitter sample.
+        ``pool_kind="serial"`` executes the same plan inline (the
+        serial replay oracle for the reconciled DiskStats).
+        """
+        from ..parallel.spill import sharded_spill_merge
+
+        # Same binary layout as the run files; the merge engines expect
+        # the ("k", "v") field vocabulary.
+        dtype = np.dtype([("k", self.config.key_dtype), ("v", "<i8")])
+        # Serial buffer geometry per partition; see ExternalSorter.
+        buffer_records = max(1, self._buffer_capacity // (len(group) + 1))
+        result = sharded_spill_merge(
+            self.disk,
+            [(run.file, run.n_records, run.keys) for run in group],
+            dtype,
+            n_partitions=self.workers,
+            buffer_records=buffer_records,
+            pool_kind=self.pool_kind,
+            collect="records",
+            out_name=f"lsm-L{level + 1}-run",
+        )
+        for run in group:
+            self._runs.remove(run)
+        self._runs.append(
+            _Run(
+                file=result.file,
+                keys=result.keys,
+                offsets=result.payloads,
+                level=level + 1,
+            )
+        )
 
     def _merge_group(
         self, group: "list[_Run]"
     ) -> "tuple[np.ndarray, np.ndarray]":
         """Stable merge of a compaction group's sorted components.
 
-        Components are merged in ``self._runs`` order; all three
-        strategies (argsort oracle, vectorized pairwise, parallel
-        range-partitioned) are bit-identical — see the module
-        docstring.
+        Components are merged in ``self._runs`` order; every strategy
+        (argsort oracle, vectorized pairwise, sharded parallel) is
+        bit-identical — see the module docstring.
         """
         runs = [(run.keys, run.offsets) for run in group]
         if self.merge_engine == "argsort":
@@ -243,22 +294,20 @@ class CoconutLSM(SeriesIndex):
             offsets = np.concatenate([o for _, o in runs])
             order = np.argsort(keys, kind="stable")
             return keys[order], offsets[order]
-        if self.workers > 1 and len(runs) > 1:
-            # Lazy import: repro.parallel pulls in the index layer.
-            from ..parallel.merge import parallel_merge_runs
-
-            return parallel_merge_runs(
-                runs, workers=self.workers, kind=self.pool_kind
-            )
         return merge_presorted(runs)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def _probe_run(
-        self, run: _Run, key: bytes, window: int
+        self, run: _Run, key: bytes, window: int, read_window=None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Offsets near the query key in one run, charging its I/O."""
+        """Offsets near the query key in one run, charging its I/O.
+
+        ``read_window`` overrides how the probed page range is read —
+        the batched approximate path passes a caching reader so queries
+        probing the same page window of the same run share one read.
+        """
         probe = np.array([key], dtype=self.config.key_dtype)
         position = int(np.searchsorted(run.keys, probe[0]))
         start = max(0, min(position - window // 2, run.n_records - window))
@@ -271,36 +320,51 @@ class CoconutLSM(SeriesIndex):
         last_page = min(
             run.file.n_pages - 1, max(first_page, (stop * rec) // self.disk.page_size)
         )
-        run.file.read_stream(first_page, last_page - first_page + 1)
+        if read_window is None:
+            run.file.read_stream(first_page, last_page - first_page + 1)
+        else:
+            read_window(run, first_page, last_page - first_page + 1)
         return run.offsets[start:stop], np.arange(start, stop)
+
+    def _approximate_one(
+        self, query: np.ndarray, read_window=None
+    ) -> tuple[int, float, int]:
+        """One approximate probe: (answer_idx, distance, visited).
+
+        Shared between :meth:`approximate_search` and the batched path;
+        only ``read_window`` (how run page windows are charged) varies,
+        so per-query answers are identical by construction.
+        """
+        key = query_key(query, self.config)
+        window = max(4, self.raw.series_per_page)
+        offset_parts = []
+        for run in self._runs:
+            offsets, _ = self._probe_run(run, key, window, read_window)
+            offset_parts.append(offsets)
+        if self._mem_records:
+            mem_keys = np.concatenate(self._mem_keys)
+            mem_offsets = np.concatenate(self._mem_offsets)
+            order = np.argsort(mem_keys, kind="stable")
+            probe = np.array([key], dtype=self.config.key_dtype)
+            position = int(np.searchsorted(mem_keys[order], probe[0]))
+            start = max(0, position - window // 2)
+            offset_parts.append(mem_offsets[order][start : start + window])
+        best_idx, best_dist, visited = -1, float("inf"), 0
+        if offset_parts:
+            offsets = np.unique(np.concatenate(offset_parts))
+            if len(offsets):
+                series = self.raw.get_many(offsets)
+                distances = euclidean_batch(query, series)
+                visited = len(offsets)
+                j = int(np.argmin(distances))
+                best_idx, best_dist = int(offsets[j]), float(distances[j])
+        return best_idx, best_dist, visited
 
     def approximate_search(self, query: np.ndarray) -> QueryResult:
         """Probe every run (and the memtable) around the query key."""
         query = self._query_array(query)
         with Measurement(self.disk) as measure:
-            key = query_key(query, self.config)
-            window = max(4, self.raw.series_per_page)
-            offset_parts = []
-            for run in self._runs:
-                offsets, _ = self._probe_run(run, key, window)
-                offset_parts.append(offsets)
-            if self._mem_records:
-                mem_keys = np.concatenate(self._mem_keys)
-                mem_offsets = np.concatenate(self._mem_offsets)
-                order = np.argsort(mem_keys, kind="stable")
-                probe = np.array([key], dtype=self.config.key_dtype)
-                position = int(np.searchsorted(mem_keys[order], probe[0]))
-                start = max(0, position - window // 2)
-                offset_parts.append(mem_offsets[order][start : start + window])
-            best_idx, best_dist, visited = -1, float("inf"), 0
-            if offset_parts:
-                offsets = np.unique(np.concatenate(offset_parts))
-                if len(offsets):
-                    series = self.raw.get_many(offsets)
-                    distances = euclidean_batch(query, series)
-                    visited = len(offsets)
-                    j = int(np.argmin(distances))
-                    best_idx, best_dist = int(offsets[j]), float(distances[j])
+            best_idx, best_dist, visited = self._approximate_one(query)
         return QueryResult(
             answer_idx=best_idx,
             distance=best_dist,
@@ -310,6 +374,39 @@ class CoconutLSM(SeriesIndex):
             simulated_io_ms=measure.simulated_io_ms,
             wall_s=measure.wall_s,
         )
+
+    def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
+        """Per-query approximate answers sharing run-probe page windows.
+
+        Mirrors :meth:`approximate_search` exactly (same probes, same
+        candidates, same answers); the only change is that the page
+        window a probe touches — keyed on (run, first page, length) —
+        is charged once per batch instead of once per query, the run
+        analogue of the leaf-cache trick the tree indexes use.
+        """
+        seen: set[tuple[int, int, int]] = set()
+
+        def read_window(run: _Run, first_page: int, n_pages: int) -> None:
+            cache_key = (id(run), first_page, n_pages)
+            if cache_key in seen:
+                return
+            seen.add(cache_key)
+            run.file.read_stream(first_page, n_pages)
+
+        results = []
+        for query in queries:
+            best_idx, best_dist, visited = self._approximate_one(
+                query, read_window
+            )
+            results.append(
+                QueryResult(
+                    answer_idx=best_idx,
+                    distance=best_dist,
+                    visited_records=visited,
+                    visited_leaves=self.n_runs,
+                )
+            )
+        return results
 
     def _all_summaries(self) -> tuple[np.ndarray, np.ndarray]:
         """Concatenated (words, offsets) of all runs plus the memtable."""
@@ -360,11 +457,17 @@ class CoconutLSM(SeriesIndex):
         return seeded_sims_knn(self, query, k, self._prepare_sims)
 
     def query_batch(self, batch):
-        """Batched exact kNN sharing one SIMS pass over all runs."""
-        if batch.mode != "exact":
-            return super().query_batch(batch)
-        from ..parallel.batch import sims_query_batch
+        """Batched queries sharing work across the batch.
 
+        Exact batches share one SIMS pass over the union of runs;
+        approximate batches share run-probe page windows (a window
+        several queries land in is read once).  Answers are identical
+        to issuing the queries one at a time.
+        """
+        from ..parallel.batch import approx_query_batch, sims_query_batch
+
+        if batch.mode == "approximate":
+            return approx_query_batch(self, batch)
         return sims_query_batch(self, batch, self._prepare_sims)
 
     def _prepare_sims(self):

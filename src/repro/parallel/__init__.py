@@ -11,11 +11,18 @@ any number of producers.  This package supplies both halves:
   so bulk-loading uses all cores while producing bit-identical indexes
   to the serial path.
 * :mod:`repro.parallel.merge` — a range-partitioned parallel merge of
-  presorted runs: splitter keys sampled from run boundaries cut every
-  run into disjoint key ranges that workers merge independently, with
-  output bit-identical to the serial merge for any worker count.  It
-  parallelizes the merge phase of the external sort and Coconut-LSM
-  compaction.
+  *resident* presorted runs: splitter keys sampled from run boundaries
+  cut every run into disjoint key ranges that workers merge
+  independently, with output bit-identical to the serial merge for any
+  worker count.
+* :mod:`repro.parallel.spill` — the same idea for *file-backed* runs
+  on the sharded storage layer: each partition streams its slices of
+  the spilled run files through a private
+  :class:`repro.storage.DiskShard` (own head, own stats) and writes a
+  disjoint extent of the output run — or, on the cascade's final pass,
+  streams straight to the consumer.  Parallelizes the spilled merge
+  cascade of the external sort and Coconut-LSM compaction, with
+  deterministic, serially-replayable I/O accounting.
 * :mod:`repro.parallel.batch` — a batched exact-kNN executor that
   answers many queries in one skip-sequential SIMS pass, sharing the
   summary scan and every fetched page across the whole batch, plus a
@@ -29,9 +36,17 @@ CLI as ``--workers`` / ``--batch``.
 
 from .batch import approx_query_batch, batched_exact_knn, build_batch_report
 from .merge import (
+    choose_pool_kind,
     parallel_merge_runs,
     partition_runs,
+    run_cut_positions,
     sample_splitters,
+)
+from .spill import (
+    ShardedMergeResult,
+    sharded_spill_merge,
+    sharded_stream_merge,
+    stream_run_file,
 )
 from .summarize import (
     DEFAULT_CHUNK_SERIES,
@@ -45,14 +60,20 @@ from .summarize import (
 __all__ = [
     "DEFAULT_CHUNK_SERIES",
     "ParallelSummarizer",
+    "ShardedMergeResult",
     "approx_query_batch",
     "batched_exact_knn",
     "build_batch_report",
+    "choose_pool_kind",
     "parallel_invsax_keys",
     "parallel_merge_runs",
     "partition_runs",
     "resolve_workers",
+    "run_cut_positions",
     "sample_splitters",
+    "sharded_spill_merge",
+    "sharded_stream_merge",
+    "stream_run_file",
     "summarize_chunk",
     "summarize_presorted_runs",
 ]

@@ -41,6 +41,25 @@ from .summarize import resolve_workers
 #: Strided samples taken per run when proposing splitters.
 SPLITTER_SAMPLES_PER_RUN = 16
 
+#: ``pool_kind="auto"`` switches to threads at this many payload bytes:
+#: large NumPy payloads release the GIL during the searchsorted/scatter
+#: work and threads share the arrays zero-copy, while tiny payloads are
+#: interpreter-bound under the GIL — worker processes sidestep it and
+#: pickling a few kilobytes costs next to nothing.
+AUTO_POOL_THREAD_BYTES = 4 << 20
+
+
+def choose_pool_kind(runs: "list[tuple[np.ndarray, np.ndarray]]") -> str:
+    """Resolve ``pool_kind="auto"`` from the merge payload size.
+
+    Returns ``"thread"`` when the runs carry at least
+    :data:`AUTO_POOL_THREAD_BYTES` of key+payload data (GIL-releasing
+    NumPy work dominates), ``"process"`` otherwise.  Callers that know
+    better pass an explicit kind instead.
+    """
+    total = sum(keys.nbytes + payloads.nbytes for keys, payloads in runs)
+    return "thread" if total >= AUTO_POOL_THREAD_BYTES else "process"
+
 
 def sample_splitters(
     key_runs: "list[np.ndarray]", n_parts: int
@@ -72,6 +91,23 @@ def sample_splitters(
     return np.unique(pool[positions])
 
 
+def run_cut_positions(keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    """Record positions cutting one sorted run at the splitters.
+
+    Returns ``len(splitters) + 2`` ascending indices; partition ``p`` of
+    the run is records ``[cuts[p], cuts[p + 1])``.  Cuts use
+    ``side="left"`` — all records sharing a key land in the same
+    partition, so cross-run ties can never straddle a boundary.  The
+    in-memory :func:`partition_runs` and the file-backed sharded merge
+    (:mod:`repro.parallel.spill`) share this rule, which is what makes
+    both bit-identical to the serial stable merge.
+    """
+    bounds = np.searchsorted(keys, splitters, side="left")
+    return np.concatenate(
+        [[0], bounds, [len(keys)]]
+    ).astype(np.int64)
+
+
 def partition_runs(
     runs: "list[tuple[np.ndarray, np.ndarray]]", splitters: np.ndarray
 ) -> "list[list[tuple[np.ndarray, np.ndarray]]]":
@@ -84,12 +120,12 @@ def partition_runs(
         [] for _ in range(len(splitters) + 1)
     ]
     for keys, payloads in runs:
-        bounds = np.searchsorted(keys, splitters, side="left")
-        prev = 0
-        for p, bound in enumerate([*bounds.tolist(), len(keys)]):
-            if bound > prev:
-                parts[p].append((keys[prev:bound], payloads[prev:bound]))
-            prev = bound
+        cuts = run_cut_positions(keys, splitters).tolist()
+        for p in range(len(cuts) - 1):
+            if cuts[p + 1] > cuts[p]:
+                parts[p].append(
+                    (keys[cuts[p] : cuts[p + 1]], payloads[cuts[p] : cuts[p + 1]])
+                )
     return parts
 
 
@@ -127,9 +163,11 @@ def parallel_merge_runs(
     ``runs`` are (keys, payloads) pairs, each internally stably sorted.
     The output equals :func:`repro.storage.merge.merge_presorted` on
     the same list — and therefore a stable argsort of the concatenation
-    — for every ``workers`` / ``kind`` choice.
+    — for every ``workers`` / ``kind`` choice.  ``kind="auto"`` picks
+    threads or processes from the payload size
+    (:func:`choose_pool_kind`).
     """
-    if kind not in ("process", "thread", "serial"):
+    if kind not in ("process", "thread", "serial", "auto"):
         raise ValueError(f"unknown pool kind {kind!r}")
     runs = [(np.asarray(k), np.asarray(p)) for k, p in runs]
     for keys, payloads in runs:
@@ -140,6 +178,8 @@ def parallel_merge_runs(
         raise ValueError("parallel_merge_runs requires at least one non-empty run")
     if len(runs) == 1:
         return runs[0]
+    if kind == "auto":
+        kind = choose_pool_kind(runs)
     workers = resolve_workers(workers)
     splitters = sample_splitters([keys for keys, _ in runs], workers)
     if workers <= 1 or len(splitters) == 0:

@@ -9,7 +9,7 @@ same cost model the paper uses.
 
 from .bufferpool import BufferPool
 from .cost import SSD_COST, UNIFORM_COST, CostModel, DiskStats
-from .disk import PageError, SimulatedDisk
+from .disk import DiskShard, PageError, ShardedDisk, SimulatedDisk
 from .external_sort import ExternalSorter, SortReport, sort_to_arrays
 from .merge import (
     MERGE_ENGINES,
@@ -27,8 +27,10 @@ from .seriesfile import RawSeriesFile
 __all__ = [
     "BufferPool",
     "CostModel",
+    "DiskShard",
     "DiskStats",
     "Extent",
+    "ShardedDisk",
     "ExternalSorter",
     "LoserTree",
     "MERGE_ENGINES",

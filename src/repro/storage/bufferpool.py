@@ -1,17 +1,33 @@
-"""An LRU buffer pool over the simulated disk.
+"""An LRU buffer pool over the simulated disk (or one shard of it).
 
 The buffer pool models the main-memory budget M of the disk access
 model: pages cached in the pool are served without disk I/O, so an
 index whose working set fits in the pool behaves as if it were in
 memory, while a larger working set degrades to disk-bound behaviour —
 the transition every experiment in the paper sweeps across.
+
+A pool is bound to exactly one device at a time — the shared
+:class:`repro.storage.disk.SimulatedDisk` or, in a sharded session, one
+worker's private :class:`repro.storage.disk.DiskShard`.  Pools are
+*shard-scoped*: a parallel worker never shares its pool (or its cache
+state) with another thread, so cache decisions — like the I/O
+classification of the shard underneath — are a deterministic function
+of that worker's own access sequence.  The explicit
+:meth:`attach`/:meth:`detach` lifecycle replaces reaching for an
+implicit global device: detaching drops the cache and disconnects the
+pool, and re-attaching (to the parent after a session, or to a new
+shard) starts from a cold cache, never from another domain's pages.
+
+The pool is itself a device (it forwards ``page_size`` and
+``allocate``), so a :class:`repro.storage.pager.PagedFile` view can be
+attached directly to a pool to read a file through it.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from .disk import SimulatedDisk
+from .disk import PageError, SimulatedDisk
 
 
 class BufferPool:
@@ -20,13 +36,14 @@ class BufferPool:
     Parameters
     ----------
     disk:
-        The underlying device.
+        The underlying device (a disk or a shard); may be ``None`` to
+        create the pool detached and :meth:`attach` one later.
     capacity_pages:
         Maximum number of cached pages.  Zero disables caching, which
         makes every access hit the disk (useful for worst-case runs).
     """
 
-    def __init__(self, disk: SimulatedDisk, capacity_pages: int):
+    def __init__(self, disk: SimulatedDisk | None, capacity_pages: int):
         if capacity_pages < 0:
             raise ValueError(f"capacity_pages must be >= 0, got {capacity_pages}")
         self.disk = disk
@@ -35,21 +52,69 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        return self.disk is not None
+
+    def attach(self, device) -> "BufferPool":
+        """Bind the pool to ``device``, starting from a cold cache.
+
+        Cached pages never survive a re-bind: a page id on one shard
+        and the same id on the parent are the same physical page, but
+        the cache of one I/O domain must not answer for another —
+        that is exactly the implicit sharing the lifecycle forbids.
+        """
+        self.invalidate()
+        self.disk = device
+        return self
+
+    def detach(self) -> None:
+        """Disconnect from the device, dropping every cached page."""
+        self.invalidate()
+        self.disk = None
+
+    def _require_attached(self) -> SimulatedDisk:
+        if self.disk is None:
+            raise PageError("buffer pool is detached; attach a device first")
+        return self.disk
+
+    # ------------------------------------------------------------------
+    # Device passthrough (so PagedFile views can bind to a pool)
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self._require_attached().page_size
+
+    def allocate(self, n_pages: int = 1) -> int:
+        return self._require_attached().allocate(n_pages)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
     def read(self, page_id: int) -> bytes:
         """Read through the cache; a miss costs one disk read."""
+        device = self._require_attached()
         if page_id in self._cache:
             self.hits += 1
             self._cache.move_to_end(page_id)
             return self._cache[page_id]
         self.misses += 1
-        data = self.disk.read_page(page_id)
+        data = device.read_page(page_id)
         self._admit(page_id, data)
         return data
 
+    # PagedFile calls the device vocabulary; route it through the cache.
+    read_page = read
+
     def write(self, page_id: int, data: bytes) -> None:
         """Write through to disk, updating the cached copy."""
-        self.disk.write_page(page_id, data)
+        self._require_attached().write_page(page_id, data)
         self._admit(page_id, bytes(data))
+
+    write_page = write
 
     def _admit(self, page_id: int, data: bytes) -> None:
         if self.capacity_pages == 0:

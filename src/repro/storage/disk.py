@@ -12,6 +12,31 @@ touch them in order, so their I/O is counted as sequential — the
 contiguity property the Coconut paper establishes.  Indexes built by
 top-down insertion allocate leaves at split time, scattering them across
 the address space, so their I/O is counted as random.
+
+Sharding
+--------
+A :class:`SimulatedDisk` is a single I/O domain: one head, one set of
+counters, no concurrency.  Parallel consumers — the range-partitioned
+spilled-run merge, LSM compaction — instead open a :class:`ShardedDisk`
+session, which fences the parent device and hands each worker a
+:class:`DiskShard`: a private I/O domain with
+
+* a *writable extent* — a contiguous, pre-allocated page range that no
+  other shard may touch;
+* read-only access to every page the parent held when the session was
+  attached (sources written by sibling shards are invisible — snapshot
+  isolation);
+* its own head position and its own :class:`DiskStats`.
+
+Because classification depends only on a shard's *own* access sequence,
+the sequential/random split of a parallel run is independent of thread
+scheduling: executing the same per-shard plans inline, one shard after
+another, reproduces every counter bit for bit — the *serial replay
+oracle* the equivalence suite pins against.  On detach the shards are
+reconciled into the parent deterministically, in partition order:
+pages merge into the parent's store, stats add up shard by shard, and
+the parent head is parked so the first post-session access classifies
+as random no matter how the pool interleaved.
 """
 
 from __future__ import annotations
@@ -23,80 +48,43 @@ class PageError(Exception):
     """Raised on invalid page accesses (unallocated page, oversized data)."""
 
 
-class SimulatedDisk:
-    """A block device simulation that counts classified page I/Os.
+class _PagedDevice:
+    """Accounting and streaming helpers shared by disks and shards.
 
-    Parameters
-    ----------
-    page_size:
-        Bytes per page.  All I/O accounting is in whole pages; writing
-        fewer bytes than a page still transfers one page.
-    cost_model:
-        Converts access counts to simulated milliseconds.
+    Subclasses provide ``page_size``, ``cost_model``, ``read_page`` and
+    ``write_page``; this base owns the head position (``None`` while
+    parked — the next access is always random) and the live counters.
     """
 
-    def __init__(self, page_size: int = 8192, cost_model: CostModel | None = None):
-        if page_size <= 0:
-            raise ValueError(f"page_size must be positive, got {page_size}")
-        self.page_size = page_size
-        self.cost_model = cost_model or CostModel()
-        self._pages: dict[int, bytes] = {}
-        self._next_page = 0
-        self._head = -2  # physical position of the disk head; -2 = parked
+    page_size: int
+    cost_model: CostModel
+
+    def _init_accounting(self) -> None:
+        self._head: int | None = None
         self._stats = DiskStats()
 
     # ------------------------------------------------------------------
-    # Allocation
+    # Classification
     # ------------------------------------------------------------------
-    def allocate(self, n_pages: int = 1) -> int:
-        """Reserve ``n_pages`` physically contiguous pages.
-
-        Returns the id of the first page.  Allocation itself performs no
-        I/O; pages contain empty bytes until written.
-        """
-        if n_pages <= 0:
-            raise ValueError(f"n_pages must be positive, got {n_pages}")
-        first = self._next_page
-        self._next_page += n_pages
-        return first
-
-    @property
-    def pages_allocated(self) -> int:
-        return self._next_page
-
-    @property
-    def pages_written(self) -> int:
-        return len(self._pages)
-
-    # ------------------------------------------------------------------
-    # I/O
-    # ------------------------------------------------------------------
-    def write_page(self, page_id: int, data: bytes) -> None:
-        """Write one page, classifying the access by head position."""
-        self._check_page(page_id)
-        if len(data) > self.page_size:
-            raise PageError(
-                f"data of {len(data)} bytes exceeds page size {self.page_size}"
-            )
-        if page_id == self._head + 1:
-            self._stats.sequential_writes += 1
-        else:
-            self._stats.random_writes += 1
-        self._stats.bytes_written += self.page_size
-        self._pages[page_id] = bytes(data)
-        self._head = page_id
-
-    def read_page(self, page_id: int) -> bytes:
-        """Read one page, classifying the access by head position."""
-        self._check_page(page_id)
-        if page_id == self._head + 1:
+    def _count_read(self, page_id: int) -> None:
+        if self._head is not None and page_id == self._head + 1:
             self._stats.sequential_reads += 1
         else:
             self._stats.random_reads += 1
         self._stats.bytes_read += self.page_size
         self._head = page_id
-        return self._pages.get(page_id, b"")
 
+    def _count_write(self, page_id: int) -> None:
+        if self._head is not None and page_id == self._head + 1:
+            self._stats.sequential_writes += 1
+        else:
+            self._stats.random_writes += 1
+        self._stats.bytes_written += self.page_size
+        self._head = page_id
+
+    # ------------------------------------------------------------------
+    # Streaming convenience
+    # ------------------------------------------------------------------
     def read_run(self, first_page: int, n_pages: int) -> list[bytes]:
         """Read ``n_pages`` consecutive pages (one seek, then streaming)."""
         return [self.read_page(first_page + i) for i in range(n_pages)]
@@ -105,12 +93,6 @@ class SimulatedDisk:
         """Write consecutive pages (one seek, then streaming)."""
         for i, data in enumerate(pages):
             self.write_page(first_page + i, data)
-
-    def _check_page(self, page_id: int) -> None:
-        if not 0 <= page_id < self._next_page:
-            raise PageError(
-                f"page {page_id} is not allocated (allocated: {self._next_page})"
-            )
 
     # ------------------------------------------------------------------
     # Accounting
@@ -135,12 +117,334 @@ class SimulatedDisk:
     def reset_stats(self) -> None:
         self._stats = DiskStats()
 
+    @property
+    def head_position(self) -> int | None:
+        """Physical page under the head, or ``None`` while parked."""
+        return self._head
+
     def park_head(self) -> None:
-        """Move the head to a neutral position (next access is random)."""
-        self._head = -2
+        """Park the head: the next access, wherever it lands, is random.
+
+        Parking is idempotent and deterministic — there is no sentinel
+        page id that a later access could accidentally be "adjacent" to,
+        so interleaved pools can never perturb a parked device's next
+        classification.
+        """
+        self._head = None
+
+
+class SimulatedDisk(_PagedDevice):
+    """A block device simulation that counts classified page I/Os.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page.  All I/O accounting is in whole pages; writing
+        fewer bytes than a page still transfers one page.
+    cost_model:
+        Converts access counts to simulated milliseconds.
+    """
+
+    def __init__(self, page_size: int = 8192, cost_model: CostModel | None = None):
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.cost_model = cost_model or CostModel()
+        self._pages: dict[int, bytes] = {}
+        self._next_page = 0
+        self._shard_session: "ShardedDisk | None" = None
+        self._init_accounting()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, n_pages: int = 1) -> int:
+        """Reserve ``n_pages`` physically contiguous pages.
+
+        Returns the id of the first page.  Allocation itself performs no
+        I/O; pages contain empty bytes until written.
+        """
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive, got {n_pages}")
+        self._check_unsharded("allocate")
+        first = self._next_page
+        self._next_page += n_pages
+        return first
+
+    @property
+    def pages_allocated(self) -> int:
+        return self._next_page
+
+    @property
+    def pages_written(self) -> int:
+        return len(self._pages)
+
+    @property
+    def sharded(self) -> bool:
+        """Whether a :class:`ShardedDisk` session is currently attached."""
+        return self._shard_session is not None
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page, classifying the access by head position."""
+        self._check_unsharded("write_page")
+        self._check_page(page_id)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self._count_write(page_id)
+        self._pages[page_id] = bytes(data)
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page, classifying the access by head position."""
+        self._check_unsharded("read_page")
+        self._check_page(page_id)
+        self._count_read(page_id)
+        return self._pages.get(page_id, b"")
+
+    def _check_page(self, page_id: int) -> None:
+        if not 0 <= page_id < self._next_page:
+            raise PageError(
+                f"page {page_id} is not allocated (allocated: {self._next_page})"
+            )
+
+    def _check_unsharded(self, operation: str) -> None:
+        if self._shard_session is not None:
+            raise PageError(
+                f"cannot {operation} while a ShardedDisk session is attached; "
+                "route I/O through the shards and detach first"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimulatedDisk(page_size={self.page_size}, "
             f"allocated={self._next_page}, written={len(self._pages)})"
+        )
+
+
+class DiskShard(_PagedDevice):
+    """A private I/O domain over a reserved extent of a parent disk.
+
+    Writes land in a shard-local page store restricted to the shard's
+    writable extent; reads prefer the local store and fall back to the
+    parent's pages as they stood when the session attached (snapshot
+    isolation — a sibling shard's concurrent writes are invisible).
+    Head position and :class:`DiskStats` are private, so every access
+    classification depends only on this shard's own sequence, never on
+    how a pool interleaves shards.
+
+    Shards are created by :class:`ShardedDisk`, not directly.
+    """
+
+    def __init__(
+        self,
+        parent: SimulatedDisk,
+        first_page: int,
+        n_pages: int,
+        shard_id: int,
+        name: str = "",
+    ):
+        self.parent = parent
+        self.page_size = parent.page_size
+        self.cost_model = parent.cost_model
+        self.first_page = first_page
+        self.extent_pages = n_pages
+        self.shard_id = shard_id
+        self.name = name or f"shard-{shard_id}"
+        self._readable_below = parent.pages_allocated
+        self._next_page = first_page
+        self._pages: dict[int, bytes] = {}
+        self._attached = True
+        self._init_accounting()
+
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    @property
+    def pages_allocated(self) -> int:
+        return self._next_page - self.first_page
+
+    @property
+    def pages_written(self) -> int:
+        return len(self._pages)
+
+    def allocate(self, n_pages: int = 1) -> int:
+        """Carve ``n_pages`` from the shard's extent (no parent call)."""
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive, got {n_pages}")
+        self._check_attached()
+        if self._next_page + n_pages > self.first_page + self.extent_pages:
+            raise PageError(
+                f"{self.name}: extent of {self.extent_pages} pages exhausted"
+            )
+        first = self._next_page
+        self._next_page += n_pages
+        return first
+
+    # ------------------------------------------------------------------
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write within the shard's extent, classified by its own head."""
+        self._check_attached()
+        if not self.first_page <= page_id < self.first_page + self.extent_pages:
+            raise PageError(
+                f"{self.name}: page {page_id} outside writable extent "
+                f"[{self.first_page}, {self.first_page + self.extent_pages})"
+            )
+        if len(data) > self.page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self._count_write(page_id)
+        self._pages[page_id] = bytes(data)
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read own pages, or any pre-session parent page (read-only)."""
+        self._check_attached()
+        if page_id in self._pages:
+            self._count_read(page_id)
+            return self._pages[page_id]
+        in_extent = (
+            self.first_page <= page_id < self.first_page + self.extent_pages
+        )
+        if not in_extent and not 0 <= page_id < self._readable_below:
+            raise PageError(
+                f"{self.name}: page {page_id} is neither in the shard's "
+                f"extent nor readable from the parent snapshot "
+                f"(< {self._readable_below})"
+            )
+        self._count_read(page_id)
+        # Parent pages are immutable while the session is attached (the
+        # parent is fenced and sibling writes stay shard-local), so this
+        # lookup is safe from any thread.
+        return self.parent._pages.get(page_id, b"")
+
+    def _check_attached(self) -> None:
+        if not self._attached:
+            raise PageError(f"{self.name} is detached; its session has ended")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskShard({self.name!r}, extent=[{self.first_page}, "
+            f"{self.first_page + self.extent_pages}), "
+            f"written={len(self._pages)}, attached={self._attached})"
+        )
+
+
+class ShardedDisk:
+    """A scoped sharding session over one :class:`SimulatedDisk`.
+
+    ``extents`` lists each shard's writable page range as ``(first_page,
+    n_pages)`` pairs; ranges must already be allocated on the parent and
+    pairwise disjoint (``n_pages == 0`` marks a shard that only reads).
+    While the session is attached the parent rejects direct I/O — the
+    explicit lifecycle that replaces the implicit shared global device —
+    and every shard operates on its private domain.  A ``read_only``
+    session (all extents zero pages) instead leaves the parent live:
+    the shards stream immutable pre-session pages — each still on its
+    own head, with its own counters — while the consumer keeps using
+    the parent (the pipelined final merge pass feeds the bulk loader
+    this way).
+
+    Usable as a context manager::
+
+        with ShardedDisk(disk, [(first, n), ...]) as shards:
+            ...  # hand one shard to each worker
+
+    Detach reconciles deterministically in partition order: shard pages
+    merge into the parent store and shard stats add onto the parent
+    counters shard by shard, then the parent head is parked.  The
+    reconciled totals are therefore identical for any pool kind or
+    worker count that executes the same per-shard plans.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        extents: "list[tuple[int, int]]",
+        names: "list[str] | None" = None,
+        read_only: bool = False,
+    ):
+        if disk.sharded:
+            raise PageError("disk already has an attached ShardedDisk session")
+        if read_only and any(n_pages for _, n_pages in extents):
+            raise ValueError("read_only sessions take zero-page extents")
+        occupied: list[tuple[int, int]] = []
+        for first, n_pages in extents:
+            if n_pages < 0 or first < 0:
+                raise ValueError(f"invalid extent ({first}, {n_pages})")
+            if first + n_pages > disk.pages_allocated:
+                raise PageError(
+                    f"extent ({first}, {n_pages}) exceeds allocated space "
+                    f"({disk.pages_allocated} pages)"
+                )
+            for other_first, other_n in occupied:
+                if first < other_first + other_n and other_first < first + n_pages:
+                    raise PageError(
+                        f"extent ({first}, {n_pages}) overlaps "
+                        f"({other_first}, {other_n})"
+                    )
+            if n_pages:
+                occupied.append((first, n_pages))
+        self.disk = disk
+        self.read_only = read_only
+        self.shards = [
+            DiskShard(
+                disk,
+                first,
+                n_pages,
+                shard_id=i,
+                name=(names[i] if names else ""),
+            )
+            for i, (first, n_pages) in enumerate(extents)
+        ]
+        self._attached = True
+        if not read_only:
+            # Writing sessions fence the parent: all I/O goes through
+            # the shards until detach.  Read-only sessions leave the
+            # parent live — its pre-session pages are immutable, so a
+            # consumer may keep appending (e.g. writing index leaves)
+            # while the shards stream the sources.
+            disk._shard_session = self
+
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def detach(self) -> DiskStats:
+        """Reconcile shards into the parent; returns the merged delta.
+
+        Idempotent.  Reconciliation walks the shards in partition order
+        (shard 0 first), merging pages and adding stats, then parks the
+        parent head — so the session's effect on the parent is a pure,
+        deterministic function of the per-shard plans.
+        """
+        if not self._attached:
+            return DiskStats()
+        merged = DiskStats()
+        for shard in self.shards:
+            self.disk._pages.update(shard._pages)
+            merged = merged + shard._stats
+            shard._attached = False
+        self.disk._stats = self.disk._stats + merged
+        if self.disk._shard_session is self:
+            self.disk._shard_session = None
+        self.disk.park_head()
+        self._attached = False
+        return merged
+
+    def __enter__(self) -> "list[DiskShard]":
+        return self.shards
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedDisk(shards={len(self.shards)}, attached={self._attached})"
         )

@@ -24,6 +24,19 @@ range-partitions the key space and merges the disjoint partitions on a
 worker pool (:func:`repro.parallel.merge.parallel_merge_runs`), again
 with bit-identical output for any worker count.
 
+``merge_workers > 1`` now also parallelizes the *spilled* cascade
+(:mod:`repro.parallel.spill`): each cascade group's key space is
+range-partitioned, every partition merges its record slices of the
+group's run files through a private :class:`repro.storage.disk.
+DiskShard` and writes a disjoint extent of the output run; the final
+pass streams its partition merges concurrently through read-only
+shards straight to the consumer.  The merged record stream stays
+bit-identical to the serial merge for any worker count and splitter
+sample; the simulated I/O of the sharded plan is bit-identical to its
+serial replay (``pool_kind="serial"``), though not to the
+single-domain serial plan — partitioned domains classify their seeks
+independently, the price of merging on many devices at once.
+
 Keys are fixed-width byte strings (NumPy ``S<k>`` arrays); NumPy sorts
 them lexicographically, which for big-endian encoded invSAX words is
 exactly z-order.  Payloads are arbitrary fixed-size rows (an int64 file
@@ -56,6 +69,21 @@ class SortReport:
     merge_passes: int = 0
 
 
+@dataclass
+class _SpillRun:
+    """One file-backed sorted run awaiting the merge cascade.
+
+    ``keys`` is the run's in-memory key mirror, retained only when the
+    sharded parallel cascade needs it for splitter sampling and exact
+    record-level cuts (the sortable summarizations are what "in general
+    fit in main memory"); the serial cascade carries ``None``.
+    """
+
+    file: PagedFile
+    n_records: int
+    keys: np.ndarray | None = None
+
+
 def _record_dtype(keys: np.ndarray, payloads: np.ndarray) -> np.dtype:
     if payloads.ndim == 1:
         return np.dtype([("k", keys.dtype), ("v", payloads.dtype)])
@@ -68,12 +96,16 @@ class ExternalSorter:
     ``merge_engine`` selects the k-way merge implementation for spilled
     sorts (``"blockwise"`` — vectorized, the default — or ``"heapq"``,
     the per-record oracle); both are bit-identical in output and
-    simulated I/O.  ``merge_workers > 1`` parallelizes the in-memory
-    merge of presorted runs by key-range partitioning.  ``pool_kind``
-    defaults to threads, unlike the summarization pipeline: merging is
-    memory-bandwidth-bound NumPy work that releases the GIL, and a
-    process pool would spend more time pickling whole runs across the
-    boundary than merging them.
+    simulated I/O.  ``merge_workers > 1`` parallelizes both merges by
+    key-range partitioning: the in-memory merge of resident presorted
+    runs on a worker pool, and the file-backed spilled cascade on
+    per-partition disk shards (:mod:`repro.parallel.spill`).
+    ``pool_kind`` defaults to ``"auto"``, which picks threads for large
+    merge payloads (NumPy releases the GIL; no pickling) and processes
+    for tiny ones (:func:`repro.parallel.merge.choose_pool_kind`);
+    the sharded spilled merge always uses threads — worker processes
+    cannot mutate the shared simulated device — unless
+    ``pool_kind="serial"`` asks for the inline serial replay.
     """
 
     def __init__(
@@ -82,7 +114,7 @@ class ExternalSorter:
         memory_bytes: int,
         merge_engine: str = "blockwise",
         merge_workers: int = 1,
-        pool_kind: str = "thread",
+        pool_kind: str = "auto",
     ):
         if memory_bytes <= 0:
             raise ValueError(f"memory_bytes must be positive, got {memory_bytes}")
@@ -147,6 +179,15 @@ class ExternalSorter:
         """
         return max(2, self.memory_bytes // (self.disk.page_size * 2))
 
+    @property
+    def _parallel_spill(self) -> bool:
+        """Whether the spilled cascade runs on per-partition shards.
+
+        ``pool_kind="serial"`` keeps the sharded plan but executes it
+        inline — the serial replay oracle with bit-identical counters.
+        """
+        return self.merge_workers > 1
+
     def _sort_spilled(
         self,
         keys: np.ndarray,
@@ -155,66 +196,150 @@ class ExternalSorter:
         mem_records: int,
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(keys)
-        runs: list[tuple[PagedFile, int]] = []
+        runs: list[_SpillRun] = []
+        mirror = self._parallel_spill
         for start in range(0, n, mem_records):
             stop = min(start + mem_records, n)
             order = np.argsort(keys[start:stop], kind="stable")
+            sorted_keys = keys[start:stop][order]
             block = np.empty(stop - start, dtype=rec_dtype)
-            block["k"] = keys[start:stop][order]
+            block["k"] = sorted_keys
             block["v"] = payloads[start:stop][order]
             run = PagedFile(self.disk, name=f"sort-run-{len(runs)}")
             run.write_stream(block.tobytes())
-            runs.append((run, stop - start))
+            runs.append(
+                _SpillRun(run, stop - start, sorted_keys if mirror else None)
+            )
         self.report.n_runs = len(runs)
         self.report.spilled = True
-        self.report.run_pages = sum(run.n_pages for run, _ in runs)
+        self.report.run_pages = sum(run.file.n_pages for run in runs)
         return self._merge_spilled(runs, rec_dtype, mem_records)
 
     def _merge_spilled(
         self,
-        runs: list[tuple[PagedFile, int]],
+        runs: list[_SpillRun],
         rec_dtype: np.dtype,
         mem_records: int,
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        # Cascade until one merge pass suffices.
+        parallel = self._parallel_spill and all(
+            run.keys is not None for run in runs
+        )
+        # Cascade until one merge pass suffices.  The grouping — and
+        # with it the SortReport — is the same for the serial and the
+        # sharded cascade.
         while len(runs) > self._fan_in:
             self.report.merge_passes += 1
-            next_runs: list[tuple[PagedFile, int]] = []
+            next_runs: list[_SpillRun] = []
             for start in range(0, len(runs), self._fan_in):
                 group = runs[start : start + self._fan_in]
-                merged_file = PagedFile(
-                    self.disk, name=f"sort-merge-{len(next_runs)}"
-                )
-                total = sum(count for _, count in group)
-                out_page = 0
-                remainder = b""
-                for chunk_keys, chunk_values in self._merge_runs(
-                    group, rec_dtype, mem_records
-                ):
-                    block = np.empty(len(chunk_keys), dtype=rec_dtype)
-                    block["k"] = chunk_keys
-                    block["v"] = chunk_values
-                    data = remainder + block.tobytes()
-                    whole = (len(data) // self.disk.page_size) * self.disk.page_size
-                    if whole:
-                        merged_file.write_stream(data[:whole], at_page=out_page)
-                        out_page += whole // self.disk.page_size
-                    remainder = data[whole:]
-                if remainder:
-                    merged_file.write_stream(remainder, at_page=out_page)
-                next_runs.append((merged_file, total))
+                name = f"sort-merge-{len(next_runs)}"
+                if parallel:
+                    next_runs.append(
+                        self._sharded_group_merge(
+                            group, rec_dtype, mem_records, name
+                        )
+                    )
+                else:
+                    next_runs.append(
+                        self._serial_group_merge(
+                            group, rec_dtype, mem_records, name
+                        )
+                    )
             runs = next_runs
         self.report.merge_passes += 1
+        if parallel and len(runs) > 1:
+            # Parallel final pass: the per-partition merges stream
+            # concurrently through read-only shards straight to the
+            # consumer (no materialization), re-chunked to the exact
+            # shapes the serial merge would have yielded.
+            from ..parallel.spill import sharded_stream_merge
+
+            buffer_records = max(1, mem_records // (len(runs) + 1))
+            return sharded_stream_merge(
+                self.disk,
+                [(run.file, run.n_records, run.keys) for run in runs],
+                rec_dtype,
+                n_partitions=self.merge_workers,
+                buffer_records=buffer_records,
+                pool_kind=self.pool_kind,
+                engine=self.merge_engine,
+            )
         return self._merge_runs(runs, rec_dtype, mem_records)
+
+    def _serial_group_merge(
+        self,
+        group: list[_SpillRun],
+        rec_dtype: np.dtype,
+        mem_records: int,
+        name: str,
+    ) -> _SpillRun:
+        """Stream-merge one cascade group into a new run (one domain)."""
+        merged_file = PagedFile(self.disk, name=name)
+        total = sum(run.n_records for run in group)
+        out_page = 0
+        remainder = b""
+        for chunk_keys, chunk_values in self._merge_runs(
+            group, rec_dtype, mem_records
+        ):
+            block = np.empty(len(chunk_keys), dtype=rec_dtype)
+            block["k"] = chunk_keys
+            block["v"] = chunk_values
+            data = remainder + block.tobytes()
+            whole = (len(data) // self.disk.page_size) * self.disk.page_size
+            if whole:
+                merged_file.write_stream(data[:whole], at_page=out_page)
+                out_page += whole // self.disk.page_size
+            remainder = data[whole:]
+        if remainder:
+            merged_file.write_stream(remainder, at_page=out_page)
+        return _SpillRun(merged_file, total)
+
+    def _sharded_group_merge(
+        self,
+        group: list[_SpillRun],
+        rec_dtype: np.dtype,
+        mem_records: int,
+        name: str,
+    ) -> _SpillRun:
+        """Merge one cascade group on per-partition disk shards.
+
+        The merged key mirror rides along for the next pass's cuts.
+        """
+        from ..parallel.spill import sharded_spill_merge
+
+        # Each partition streams with the serial merge's buffer
+        # geometry (one buffer per source run plus the output buffer);
+        # aggregate transient memory is n_partitions times the serial
+        # merge's buffers — the standard space-time trade of parallel
+        # merging.  The I/O *plan* therefore depends on the worker
+        # count only through the splitters.
+        buffer_records = max(1, mem_records // (len(group) + 1))
+        result = sharded_spill_merge(
+            self.disk,
+            [(run.file, run.n_records, run.keys) for run in group],
+            rec_dtype,
+            n_partitions=self.merge_workers,
+            buffer_records=buffer_records,
+            pool_kind=self.pool_kind,
+            engine=self.merge_engine,
+            collect="keys",
+            out_name=name,
+        )
+        return _SpillRun(result.file, result.n_records, result.keys)
 
     def _merge_runs(
         self,
-        runs: list[tuple[PagedFile, int]],
+        runs: list[_SpillRun],
         rec_dtype: np.dtype,
         mem_records: int,
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         buffer_records = max(1, mem_records // (len(runs) + 1))
-        return merge_stream(self.merge_engine, runs, rec_dtype, buffer_records)
+        return merge_stream(
+            self.merge_engine,
+            [(run.file, run.n_records) for run in runs],
+            rec_dtype,
+            buffer_records,
+        )
 
     # ------------------------------------------------------------------
     def sort_runs(
@@ -254,15 +379,16 @@ class ExternalSorter:
 
             return chunks()
         self.report.spilled = True
-        files: list[tuple[PagedFile, int]] = []
+        mirror = self._parallel_spill
+        files: list[_SpillRun] = []
         for keys, payloads in runs:
             block = np.empty(len(keys), dtype=rec_dtype)
             block["k"] = keys
             block["v"] = payloads
             run = PagedFile(self.disk, name=f"sort-run-{len(files)}")
             run.write_stream(block.tobytes())
-            files.append((run, len(keys)))
-        self.report.run_pages = sum(run.n_pages for run, _ in files)
+            files.append(_SpillRun(run, len(keys), keys if mirror else None))
+        self.report.run_pages = sum(run.file.n_pages for run in files)
         return self._merge_spilled(files, rec_dtype, mem_records)
 
     def _merge_in_memory(

@@ -76,12 +76,20 @@ class RunCursor:
         n_records: int,
         rec_dtype: np.dtype,
         buffer_records: int,
+        start_record: int = 0,
     ):
         self.file = file
         self.n_records = n_records
         self.rec_dtype = rec_dtype
         self.buffer_records = max(1, buffer_records)
-        self._next_page = 0
+        # ``start_record`` opens the cursor on a record *slice* of the
+        # run: reading starts at the page containing the slice's first
+        # byte and the lead-in bytes of that page are discarded.  The
+        # sharded spilled merge uses this to hand each partition worker
+        # its disjoint key range of a shared run file.
+        start_byte = start_record * rec_dtype.itemsize
+        self._next_page = start_byte // file.disk.page_size
+        self._skip_bytes = start_byte - self._next_page * file.disk.page_size
         self._records_out = 0
         self._remainder = b""
         self._chunk: np.ndarray | None = None
@@ -141,7 +149,7 @@ class RunCursor:
             return
         want = min(self.buffer_records, left)
         itemsize = self.rec_dtype.itemsize
-        need_bytes = want * itemsize - len(self._remainder)
+        need_bytes = want * itemsize + self._skip_bytes - len(self._remainder)
         page_size = self.file.disk.page_size
         n_pages = max(0, -(-need_bytes // page_size))
         n_pages = min(n_pages, self.file.n_pages - self._next_page)
@@ -150,6 +158,9 @@ class RunCursor:
             self._next_page += n_pages
         else:
             data = self._remainder
+        if self._skip_bytes:
+            data = data[self._skip_bytes :]
+            self._skip_bytes = 0
         n_complete = min(len(data) // itemsize, left)
         if n_complete == 0:
             self._chunk = None
@@ -244,6 +255,21 @@ class _ChunkEmitter:
             self.filled = 0
 
 
+def _open_cursors(
+    runs: "list[tuple]", rec_dtype: np.dtype, buffer_records: int
+) -> "list[RunCursor]":
+    """Cursors over ``(file, count)`` pairs or ``(file, count, start)``
+    triples — the latter open record slices of shared run files."""
+    cursors = []
+    for run in runs:
+        file, count = run[0], run[1]
+        start = run[2] if len(run) > 2 else 0
+        cursors.append(
+            RunCursor(file, count, rec_dtype, buffer_records, start_record=start)
+        )
+    return cursors
+
+
 def heapq_merge_stream(
     runs: "list[tuple[PagedFile, int]]",
     rec_dtype: np.dtype,
@@ -251,9 +277,7 @@ def heapq_merge_stream(
 ) -> Iterator[MergeChunk]:
     """Reference per-record merge (the oracle the engines are pinned to)."""
     buffer_records = max(1, buffer_records)
-    cursors = [
-        RunCursor(run, count, rec_dtype, buffer_records) for run, count in runs
-    ]
+    cursors = _open_cursors(runs, rec_dtype, buffer_records)
     heap = [
         (cursor.peek_key(), i)
         for i, cursor in enumerate(cursors)
@@ -292,9 +316,7 @@ def blockwise_merge_stream(
     every round makes at least one block of progress.
     """
     buffer_records = max(1, buffer_records)
-    cursors = [
-        RunCursor(run, count, rec_dtype, buffer_records) for run, count in runs
-    ]
+    cursors = _open_cursors(runs, rec_dtype, buffer_records)
     emitter = _ChunkEmitter(rec_dtype, buffer_records)
     tree = LoserTree(
         [c.tail_key() if c.buffered() and c.has_pending() else None for c in cursors]

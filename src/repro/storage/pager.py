@@ -6,6 +6,18 @@ extents of the disk.  A file created with its final size in one
 accretes extents, which may be scattered between other allocations —
 mirroring how real filesystems fragment incrementally grown files and
 how top-down-built indexes scatter their leaves.
+
+A file is bound to a *device* — anything exposing ``page_size``,
+``allocate``, ``read_page`` and ``write_page``: the shared
+:class:`repro.storage.disk.SimulatedDisk`, a
+:class:`repro.storage.disk.DiskShard` private to one worker, or a
+:class:`repro.storage.bufferpool.BufferPool` wrapping either.  The
+binding is explicit rather than a global: :meth:`PagedFile.attach`
+yields a view of the same extents on a different device, which is how
+parallel workers read a shared run through their own shard (their own
+head, their own stats) without mutating anybody else's state, and how
+a file written inside a sharded session is re-bound to the parent disk
+after detach.
 """
 
 from __future__ import annotations
@@ -36,6 +48,39 @@ class PagedFile:
         self._n_pages = 0
         if n_pages:
             self.grow(n_pages)
+
+    @classmethod
+    def from_extent(
+        cls, device, first_page: int, n_pages: int, name: str = ""
+    ) -> "PagedFile":
+        """Wrap an already-allocated contiguous extent as a file.
+
+        No allocation or I/O happens — the pages may already hold data.
+        This is how the sharded merge stitches the output extent it
+        pre-allocated (and that workers filled through their shards)
+        into an ordinary file on the parent device.
+        """
+        file = cls(device, name=name)
+        if n_pages:
+            file._extents = [Extent(first_page, n_pages)]
+            file._n_pages = n_pages
+        return file
+
+    def attach(self, device) -> "PagedFile":
+        """A view of this file bound to ``device``, same extent table.
+
+        The view maps logical pages to the same physical pages but
+        performs its I/O on ``device`` — a worker's
+        :class:`repro.storage.disk.DiskShard` or per-shard
+        :class:`repro.storage.bufferpool.BufferPool` for concurrent
+        read-only access, or the parent disk to re-bind a file after a
+        sharded session detaches.  Views are for I/O on the existing
+        pages; growing a view does not grow the original.
+        """
+        view = PagedFile(device, name=self.name)
+        view._extents = list(self._extents)
+        view._n_pages = self._n_pages
+        return view
 
     # ------------------------------------------------------------------
     # Geometry

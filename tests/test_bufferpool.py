@@ -1,8 +1,14 @@
-"""Tests for the LRU buffer pool."""
+"""Tests for the LRU buffer pool and its shard-scoped lifecycle."""
 
 import pytest
 
-from repro.storage import BufferPool, SimulatedDisk
+from repro.storage import (
+    BufferPool,
+    PagedFile,
+    PageError,
+    ShardedDisk,
+    SimulatedDisk,
+)
 
 
 def make_disk_with_pages(n):
@@ -80,8 +86,84 @@ def test_negative_capacity_rejected():
 def test_hit_rate():
     disk = make_disk_with_pages(2)
     pool = BufferPool(disk, capacity_pages=2)
-    assert pool.hit_rate == 0.0
+    assert pool.hit_rate == 0.0  # defined (not NaN/raise) before any access
     pool.read(0)
     pool.read(0)
     pool.read(0)
     assert pool.hit_rate == pytest.approx(2 / 3)
+
+
+# --------------------------------------------- shard-scoped lifecycle
+def test_detached_pool_rejects_io():
+    pool = BufferPool(None, capacity_pages=2)
+    assert not pool.attached
+    with pytest.raises(PageError):
+        pool.read(0)
+    with pytest.raises(PageError):
+        pool.write(0, b"x")
+    with pytest.raises(PageError):
+        pool.page_size
+    with pytest.raises(PageError):
+        pool.allocate(1)
+
+
+def test_attach_and_detach_cycle_drops_cache():
+    disk = make_disk_with_pages(3)
+    pool = BufferPool(disk, capacity_pages=3)
+    pool.read(0)
+    pool.read(1)
+    assert pool.cached_pages == 2
+    pool.detach()
+    assert pool.cached_pages == 0 and not pool.attached
+    with pytest.raises(PageError):
+        pool.read(0)
+    pool.attach(disk)
+    disk.reset_stats()
+    pool.read(0)  # cold again: hits the disk, not a stale cache
+    assert disk.stats.total_reads == 1
+
+
+def test_pool_is_shard_scoped_under_the_session_lifecycle():
+    """A pool re-bound between I/O domains never leaks cached pages.
+
+    This is the isolation the sharded merge relies on: each worker's
+    pool caches only what *its* shard read, a re-bind starts cold, and
+    the shard underneath accounts every miss on its own counters.
+    """
+    disk = make_disk_with_pages(4)
+    extent = disk.allocate(2)
+    disk.reset_stats()
+    with ShardedDisk(disk, [(extent, 1), (extent + 1, 1)]) as (a, b):
+        pool_a = BufferPool(a, capacity_pages=4)
+        pool_b = BufferPool(b, capacity_pages=4)
+        assert pool_a.read(2) == bytes([2])  # parent snapshot via shard a
+        assert pool_a.read(2) == bytes([2])  # now served by pool a's cache
+        assert a.stats.total_reads == 1
+        assert b.stats.total_reads == 0  # b's domain untouched
+        assert pool_b.read(2) == bytes([2])  # b pays its own read
+        assert b.stats.total_reads == 1
+        # Re-binding a's pool to shard b starts from a cold cache.
+        pool_a.attach(b)
+        assert pool_a.cached_pages == 0
+        pool_a.read(2)
+        assert b.stats.total_reads == 2
+        pool_a.detach()
+        with pytest.raises(PageError):
+            pool_a.read(2)
+    # After the session the pool can serve the parent domain.
+    pool = BufferPool(disk, capacity_pages=2)
+    assert pool.read(2) == bytes([2])
+
+
+def test_pool_as_device_for_paged_file_views():
+    """PagedFile.attach(pool) routes file reads through the cache."""
+    disk = SimulatedDisk()
+    file = PagedFile(disk, name="data")
+    file.write_stream(b"a" * disk.page_size + b"b" * disk.page_size)
+    pool = BufferPool(disk, capacity_pages=4)
+    view = file.attach(pool)
+    assert view.read_stream(0, 2) == file.read_stream(0, 2)
+    disk.reset_stats()
+    view.read_stream(0, 2)  # cached: no disk I/O
+    assert disk.stats.total_reads == 0
+    assert pool.hits >= 2

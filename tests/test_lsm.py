@@ -127,6 +127,34 @@ def test_approximate_search_probes_all_runs():
     assert result.answer_idx >= 0
 
 
+def test_batched_approximate_shares_run_probes():
+    """Approximate QueryBatch: answers == per-query loop, less I/O.
+
+    The batch charges each probed (run, page window) once, so its
+    total I/O never exceeds — and with queries landing in shared
+    windows, undercuts — the summed per-query cost.
+    """
+    from repro.indexes.base import QueryBatch
+
+    disk, index, _ = build_lsm(n=128, seed=16, memory=32 * 24 * 2)
+    for s in range(3):
+        index.insert_batch(random_walk(32, length=64, seed=90 + s))
+    queries = random_walk(12, length=64, seed=91)
+    singles = [index.approximate_search(query) for query in queries]
+    per_query_ios = sum(result.io.total_ios for result in singles)
+    report = index.query_batch(QueryBatch(queries, mode="approximate"))
+    assert len(report.results) == len(queries)
+    for single, batched in zip(singles, report.results):
+        assert batched.answer_idx == single.answer_idx
+        assert batched.distance == pytest.approx(single.distance)
+        assert batched.visited_records == single.visited_records
+        assert batched.visited_leaves == single.visited_leaves
+    assert report.io.total_ios <= per_query_ios
+    # Several queries share probe windows here: the batch must be
+    # strictly cheaper on run reads, not just equal.
+    assert report.io.total_ios < per_query_ios
+
+
 def test_constructor_validation():
     disk = SimulatedDisk()
     with pytest.raises(ValueError):
