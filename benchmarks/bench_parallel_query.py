@@ -1,0 +1,143 @@
+"""Multi-worker batched queries vs. the serial batched engine.
+
+PRs 1–3 made index *construction* scale with the hardware; this gate
+covers the query side.  The multi-worker engine
+(:mod:`repro.parallel.query`) range-partitions the batch's lower-bound
+scan across a pool and streams the record fetches through per-worker
+read-only shards.  The sweep *asserts* the contract on every cell:
+
+* answers — ids, distances, tie order — bit-identical to the serial
+  batched engine for every index and worker count;
+* reconciled ``DiskStats`` of the pooled run bit-identical to the
+  serial replay of the same per-worker plans
+  (``query_pool_kind="serial"``);
+* at the headline configuration (>= 20k series, >= 32 queries, 4+
+  workers) the parallel exact batch must be >= 2x faster than the
+  serial batched engine — **on a host with >= 4 cores**.  On fewer
+  cores the gate stays disarmed and the sweep honestly reports ~1x
+  (or slightly below: partitioned domains re-read boundary pages and
+  coordination is not free).
+
+Any equivalence violation raises, which is what CI's tiny smoke
+configuration is for.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_query.py \
+        [--n N] [--queries Q] [--k K] [--workers W ...] [--json PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench import print_experiment
+from repro.bench.harness import run_parallel_query_sweep
+from repro.bench.workloads import DatasetSpec
+
+#: Headline configuration the >= 2x gate applies to.
+GATE_SERIES = 20_000
+GATE_QUERIES = 32
+GATE_SPEEDUP = 2.0
+GATE_MIN_CORES = 4
+
+#: The gate measures the Coconut exact-batch path; the serial scan row
+#: is informational (its batch is bandwidth-bound, not compute-bound).
+GATE_INDEXES = ("CTree", "CTreeFull")
+
+
+def check(rows: list) -> None:
+    """Assert the equivalence contract and the headline speedup gate."""
+    for row in rows:
+        assert row["identical"], f"answer-equivalence violation: {row}"
+        assert row["io_deterministic"], f"replay-determinism violation: {row}"
+    cores = os.cpu_count() or 1
+    if cores < GATE_MIN_CORES:
+        return
+    gated = [
+        row
+        for row in rows
+        if row["index"] in GATE_INDEXES
+        and row["n_series"] >= GATE_SERIES
+        and row["n_queries"] >= GATE_QUERIES
+        and row["workers"] >= GATE_MIN_CORES
+    ]
+    for row in gated:
+        assert row["speedup"] >= GATE_SPEEDUP, (
+            f"expected >= {GATE_SPEEDUP}x over the serial batched engine on "
+            f"{row['index']} at {row['n_series']} series / "
+            f"{row['n_queries']} queries / {row['workers']} workers on "
+            f"{cores} cores, got {row['speedup']:.2f}x"
+        )
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=GATE_SERIES,
+                        help="series count")
+    parser.add_argument("--queries", type=int, default=GATE_QUERIES)
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
+    parser.add_argument(
+        "--indexes", nargs="+", default=["CTree", "CTreeFull", "Serial"]
+    )
+    parser.add_argument("--dataset", default="randomwalk")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", default="",
+        help="write rows as JSON to this path ('-' for stdout)",
+    )
+    args = parser.parse_args(argv[1:])
+    spec = DatasetSpec(args.dataset, args.n, args.length, args.seed)
+    rows = run_parallel_query_sweep(
+        args.indexes,
+        spec,
+        args.queries,
+        workers_list=args.workers,
+        k=args.k,
+    )
+    print_experiment(
+        "multi-worker batched queries (serial vs replay vs thread pool)", rows
+    )
+    check(rows)
+    if args.json:
+        payload = json.dumps(
+            {
+                "benchmark": "parallel_query",
+                "config": {
+                    "n_series": args.n,
+                    "queries": args.queries,
+                    "k": args.k,
+                    "length": args.length,
+                    "workers": args.workers,
+                    "indexes": args.indexes,
+                    "dataset": args.dataset,
+                    "seed": args.seed,
+                    "cores": os.cpu_count() or 1,
+                },
+                "rows": rows,
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+def bench_parallel_query(benchmark):
+    """pytest-benchmark entry point (tiny, correctness-focused)."""
+    rows = benchmark.pedantic(
+        run_parallel_query_sweep,
+        args=(["CTree", "Serial"], DatasetSpec("randomwalk", 2000, 64, 7), 8),
+        kwargs={"workers_list": [2]},
+        rounds=1,
+        iterations=1,
+    )
+    check(rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -11,6 +11,7 @@ Examples::
     python -m repro.bench build --group secondary --workers 4
     python -m repro.bench query --mode exact --dataset seismic
     python -m repro.bench query --batch --k 5 --indexes CTree Serial
+    python -m repro.bench query --batch --workers 4
     python -m repro.bench parallel --index CTreeFull --workers 1 2 4
     python -m repro.bench merge --records 200000 --runs 32 --workers 2 4
     python -m repro.bench spilled --records 200000 --runs 8 --workers 4
@@ -22,7 +23,10 @@ cost, so parallel building pays off once the dataset has at least a
 few tens of thousands of series; use one worker per physical core.
 ``--batch`` answers the whole query workload in one shared pass —
 always at least as good as per-query on I/O, and most effective on
-exact search where the summary scan dominates.
+exact search where the summary scan dominates.  ``query --batch
+--workers N`` additionally runs that shared pass on the multi-worker
+engine (range-partitioned lower bounds, shard-parallel fetches) with
+identical answers; the speedup needs idle cores.
 """
 
 from __future__ import annotations
@@ -93,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--k", type=int, default=1, help="neighbors per query (batch mode)"
+    )
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the multi-worker batched engine "
+        "(requires --batch; answers stay identical, speedup needs cores)",
     )
 
     parallel = commands.add_parser(
@@ -167,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--batch compares exact search only; drop --mode")
     if args.command == "query" and not args.batch and args.k != 1:
         parser.error("--k only applies to the batched experiment; add --batch")
+    if args.command == "query" and not args.batch and args.workers != 1:
+        parser.error("--workers parallelizes the batched engine; add --batch")
     spec = _spec(args) if args.command not in ("merge", "spilled") else None
     if args.command == "build":
         group = (
@@ -176,7 +187,8 @@ def main(argv: list[str] | None = None) -> int:
         print_experiment(f"construction sweep ({args.group})", rows)
     elif args.command == "query" and args.batch:
         rows = run_batch_query_experiment(
-            args.indexes, spec, args.queries, k=args.k
+            args.indexes, spec, args.queries, k=args.k,
+            query_workers=args.workers,
         )
         print_experiment("batched vs per-query exact search", rows)
     elif args.command == "query":

@@ -302,13 +302,12 @@ class CoconutTree(SeriesIndex):
             records.tobytes(), at_page=slot * self.pages_per_leaf
         )
 
-    def _read_leaf_records(self, leaf: _Leaf) -> np.ndarray:
+    def _read_leaf_records(self, leaf: _Leaf, leaf_file=None) -> np.ndarray:
+        file = self._leaf_file if leaf_file is None else leaf_file
         n_pages = max(
             1, -(-leaf.count * self._record_itemsize // self.disk.page_size)
         )
-        data = self._leaf_file.read_stream(
-            leaf.slot * self.pages_per_leaf, n_pages
-        )
+        data = file.read_stream(leaf.slot * self.pages_per_leaf, n_pages)
         return np.frombuffer(
             data[: leaf.count * self._record_itemsize], dtype=self.record_dtype
         )
@@ -508,7 +507,7 @@ class CoconutTree(SeriesIndex):
         outcome.wall_s = measure.wall_s
         return outcome
 
-    def query_batch(self, batch):
+    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
         """Batched queries sharing work across the batch (repro.parallel).
 
         Exact batches share one SIMS pass: the summary column is loaded
@@ -518,11 +517,31 @@ class CoconutTree(SeriesIndex):
         leaf cache, so a leaf several queries land in is read once.
         Either way, answers are identical to issuing the queries one at
         a time.
+
+        ``query_workers > 1`` (or ``None``/``0`` for all cores) runs
+        exact batches on the multi-worker engine
+        (:mod:`repro.parallel.query`): the lower-bound scan is
+        range-partitioned across a pool and the record fetches stream
+        through per-worker read-only shards — answers (ids, distances,
+        tie order) stay bit-identical to the serial batched engine.
+        ``query_pool_kind="serial"`` replays the parallel plan inline
+        (the I/O-determinism oracle).
         """
         from ..parallel.batch import approx_query_batch, sims_query_batch
+        from ..parallel.summarize import resolve_workers
 
         if batch.mode == "approximate":
             return approx_query_batch(self, batch)
+        if resolve_workers(query_workers) > 1:
+            from ..parallel.query import parallel_sims_query_batch
+
+            return parallel_sims_query_batch(
+                self,
+                batch,
+                self._prepare_sims_parallel,
+                query_workers=query_workers,
+                pool_kind=query_pool_kind,
+            )
         return sims_query_batch(self, batch, self._prepare_sims)
 
     def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
@@ -580,6 +599,21 @@ class CoconutTree(SeriesIndex):
         )
         return self._flat_words, fetch
 
+    def _prepare_sims_parallel(self):
+        """(words, make_fetch) for the multi-worker engine.
+
+        ``make_fetch(device)`` binds the index's fetch to a worker's
+        private device (a shard-scoped buffer pool); ``make_fetch(None)``
+        is the ordinary parent-device fetch.
+        """
+        self._ensure_summaries()
+        return self._flat_words, self._make_sims_fetch
+
+    def _make_sims_fetch(self, device=None):
+        from ..parallel.query import make_sims_fetch
+
+        return make_sims_fetch(self, device)
+
     def _fetch_from_raw(
         self, positions: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -587,7 +621,7 @@ class CoconutTree(SeriesIndex):
         return self.raw.get_many(offsets), offsets
 
     def _fetch_from_leaves(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, leaf_file=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Read the leaves containing ``positions``, forward-only."""
         leaf_ids = self._flat_leaf_of[positions]
@@ -597,7 +631,9 @@ class CoconutTree(SeriesIndex):
             [[0], np.cumsum([leaf.count for leaf in self._leaves])]
         )
         for leaf_id in np.unique(leaf_ids):
-            records = self._read_leaf_records(self._leaves[int(leaf_id)])
+            records = self._read_leaf_records(
+                self._leaves[int(leaf_id)], leaf_file=leaf_file
+            )
             mask = leaf_ids == leaf_id
             local = positions[mask] - starts[int(leaf_id)]
             series[mask] = records["series"][local]

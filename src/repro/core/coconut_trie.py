@@ -257,8 +257,9 @@ class CoconutTrie(SeriesIndex):
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def _read_leaf_records(self, leaf: _TrieLeaf) -> np.ndarray:
-        data = self._leaf_file.read_stream(leaf.start_page, leaf.n_pages)
+    def _read_leaf_records(self, leaf: _TrieLeaf, leaf_file=None) -> np.ndarray:
+        file = self._leaf_file if leaf_file is None else leaf_file
+        data = file.read_stream(leaf.start_page, leaf.n_pages)
         return np.frombuffer(
             data[: leaf.count * self._record_itemsize],
             dtype=_record_dtype(
@@ -341,18 +342,32 @@ class CoconutTrie(SeriesIndex):
 
         return seeded_sims_knn(self, query, k, self._prepare_sims)
 
-    def query_batch(self, batch):
+    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
         """Batched queries sharing work across the batch (repro.parallel).
 
         Exact batches share one SIMS pass; approximate batches share
         leaf reads — each distinct target leaf is read once for all the
         queries that land in it.  Answers are identical to the
-        per-query loop either way.
+        per-query loop either way.  ``query_workers > 1`` runs exact
+        batches on the multi-worker engine (:mod:`repro.parallel.query`)
+        with answers bit-identical to the serial batched engine;
+        ``query_pool_kind="serial"`` replays the plan inline.
         """
         from ..parallel.batch import approx_query_batch, sims_query_batch
+        from ..parallel.summarize import resolve_workers
 
         if batch.mode == "approximate":
             return approx_query_batch(self, batch)
+        if resolve_workers(query_workers) > 1:
+            from ..parallel.query import parallel_sims_query_batch
+
+            return parallel_sims_query_batch(
+                self,
+                batch,
+                self._prepare_sims_parallel,
+                query_workers=query_workers,
+                pool_kind=query_pool_kind,
+            )
         return sims_query_batch(self, batch, self._prepare_sims)
 
     def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
@@ -412,6 +427,16 @@ class CoconutTrie(SeriesIndex):
         )
         return self._flat_words, fetch
 
+    def _prepare_sims_parallel(self):
+        """(words, make_fetch) for the multi-worker engine."""
+        self._ensure_summaries()
+        return self._flat_words, self._make_sims_fetch
+
+    def _make_sims_fetch(self, device=None):
+        from ..parallel.query import make_sims_fetch
+
+        return make_sims_fetch(self, device)
+
     def _ensure_summaries(self) -> None:
         if self._summaries_loaded:
             return
@@ -426,7 +451,7 @@ class CoconutTrie(SeriesIndex):
         return self.raw.get_many(offsets), offsets
 
     def _fetch_from_leaves(
-        self, positions: np.ndarray
+        self, positions: np.ndarray, leaf_file=None
     ) -> tuple[np.ndarray, np.ndarray]:
         starts = np.array([leaf.position for leaf in self._leaves])
         leaf_ids = np.searchsorted(starts, positions, side="right") - 1
@@ -434,7 +459,7 @@ class CoconutTrie(SeriesIndex):
         offsets = np.empty(len(positions), dtype=np.int64)
         for leaf_id in np.unique(leaf_ids):
             leaf = self._leaves[int(leaf_id)]
-            records = self._read_leaf_records(leaf)
+            records = self._read_leaf_records(leaf, leaf_file=leaf_file)
             mask = leaf_ids == leaf_id
             local = positions[mask] - leaf.position
             series[mask] = records["series"][local]

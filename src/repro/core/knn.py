@@ -39,21 +39,46 @@ class KNNOutcome:
 
 
 class _BoundedMaxHeap:
-    """Keeps the k smallest (distance, id) pairs seen so far."""
+    """Keeps the k lexicographically smallest (distance, id) pairs.
+
+    The retained set is a pure function of the *multiset* of offered
+    pairs — k smallest under ``(distance, identifier)`` order, one
+    entry per identifier — never of the order they were offered in.
+    That order-independence is what lets the parallel query engine
+    merge per-worker heaps into exactly the heap a serial pass over
+    the union would have produced, ties included: offers commute, so
+    partitioning the offer stream across workers cannot change the
+    outcome.
+    """
 
     def __init__(self, k: int):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
-        self._heap: list[tuple[float, int]] = []  # (-distance, id)
+        # (-distance, -identifier): heap[0] is the lex-largest retained
+        # pair, the one a better offer evicts first.
+        self._heap: list[tuple[float, int]] = []
+        self._ids: set[int] = set()
 
     def offer(self, distance: float, identifier: int) -> None:
-        if any(identifier == entry[1] for entry in self._heap):
+        if identifier in self._ids:
             return
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-distance, identifier))
-        elif distance < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, (-distance, identifier))
+            heapq.heappush(self._heap, (-distance, -identifier))
+            self._ids.add(identifier)
+        elif (-distance, -identifier) > self._heap[0]:
+            evicted = heapq.heapreplace(self._heap, (-distance, -identifier))
+            self._ids.discard(-evicted[1])
+            self._ids.add(identifier)
+
+    def merge(self, other: "_BoundedMaxHeap") -> None:
+        """Offer every pair another heap retained (coordinator merge)."""
+        for distance, identifier in other.items():
+            self.offer(distance, identifier)
+
+    def items(self) -> list[tuple[float, int]]:
+        """Retained (distance, id) pairs in arbitrary order."""
+        return [(-d, -i) for d, i in self._heap]
 
     @property
     def threshold(self) -> float:
@@ -63,7 +88,7 @@ class _BoundedMaxHeap:
         return -self._heap[0][0]
 
     def sorted_items(self) -> list[tuple[float, int]]:
-        return sorted((-d, i) for d, i in self._heap)
+        return sorted((-d, -i) for d, i in self._heap)
 
 
 def seeded_sims_knn(index, query: np.ndarray, k: int, prepare) -> KNNOutcome:

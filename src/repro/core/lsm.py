@@ -456,18 +456,33 @@ class CoconutLSM(SeriesIndex):
 
         return seeded_sims_knn(self, query, k, self._prepare_sims)
 
-    def query_batch(self, batch):
+    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
         """Batched queries sharing work across the batch.
 
         Exact batches share one SIMS pass over the union of runs;
         approximate batches share run-probe page windows (a window
         several queries land in is read once).  Answers are identical
-        to issuing the queries one at a time.
+        to issuing the queries one at a time.  ``query_workers > 1``
+        runs exact batches on the multi-worker engine
+        (:mod:`repro.parallel.query`) with answers bit-identical to the
+        serial batched engine; ``query_pool_kind="serial"`` replays the
+        plan inline.
         """
         from ..parallel.batch import approx_query_batch, sims_query_batch
+        from ..parallel.summarize import resolve_workers
 
         if batch.mode == "approximate":
             return approx_query_batch(self, batch)
+        if resolve_workers(query_workers) > 1:
+            from ..parallel.query import parallel_sims_query_batch
+
+            return parallel_sims_query_batch(
+                self,
+                batch,
+                self._prepare_sims_parallel,
+                query_workers=query_workers,
+                pool_kind=query_pool_kind,
+            )
         return sims_query_batch(self, batch, self._prepare_sims)
 
     def _prepare_sims(self):
@@ -479,6 +494,21 @@ class CoconutLSM(SeriesIndex):
             return self.raw.get_many(offsets), offsets
 
         return words, fetch
+
+    def _prepare_sims_parallel(self):
+        """(words, make_fetch) for the multi-worker engine."""
+        words, all_offsets = self._all_summaries()
+
+        def make_fetch(device=None):
+            raw = self.raw if device is None else self.raw.view(device)
+
+            def fetch(positions: np.ndarray):
+                offsets = all_offsets[positions]
+                return raw.get_many(offsets), offsets
+
+            return fetch
+
+        return words, make_fetch
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:

@@ -217,12 +217,24 @@ class SeriesIndex(abc.ABC):
             wall_s=measure.wall_s,
         )
 
-    def query_batch(self, batch: QueryBatch) -> BatchReport:
+    def query_batch(
+        self,
+        batch: QueryBatch,
+        query_workers: int = 1,
+        query_pool_kind: str = "auto",
+    ) -> BatchReport:
         """Answer a :class:`QueryBatch`; default is a per-query loop.
 
         Subclasses that can share work across queries override this;
         the contract is that the returned (id, distance) answers are
         identical to issuing every query individually.
+        ``query_workers`` requests the multi-worker engine on indexes
+        that support it (the Coconut family and the serial scan; ``1``
+        is the serial path, ``None``/``0`` means all cores); indexes
+        without a parallel path accept and ignore it, answering
+        serially with the same results.  ``query_pool_kind`` picks the
+        worker pool (``"auto"``/``"thread"``/``"process"``/``"serial"``
+        — the last replays the parallel plan inline, the I/O oracle).
         """
         queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
         results: list[QueryResult] = []

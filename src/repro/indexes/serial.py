@@ -65,16 +65,29 @@ class SerialScan(SeriesIndex):
     def exact_search(self, query: np.ndarray) -> QueryResult:
         return self._scan(query)
 
-    def query_batch(self, batch):
+    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
         """Answer the whole batch in a single pass over the raw file.
 
         The serial scan is where batching pays the most: Q queries cost
         one sequential read of the data instead of Q, with the distance
         work vectorized per block.  Results are identical to per-query
-        scans.
+        scans.  ``query_workers > 1`` splits the file into contiguous
+        page-aligned ranges scanned concurrently through read-only
+        shards (:func:`repro.parallel.query.parallel_serial_scan_batch`)
+        with bit-identical answers for any worker count.
         """
         from ..core.knn import KNNOutcome, _BoundedMaxHeap
         from ..parallel.batch import build_batch_report
+        from ..parallel.summarize import resolve_workers
+
+        if resolve_workers(query_workers) > 1:
+            # Approximate and exact scans are the same full pass here,
+            # so the parallel path serves both modes.
+            from ..parallel.query import parallel_serial_scan_batch
+
+            return parallel_serial_scan_batch(
+                self, batch, query_workers, pool_kind=query_pool_kind
+            )
 
         queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
         for query in queries:

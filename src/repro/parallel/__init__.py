@@ -28,19 +28,36 @@ any number of producers.  This package supplies both halves:
   summary scan and every fetched page across the whole batch, plus a
   batched *approximate* executor that groups queries by target leaf so
   each leaf is read once per batch.
+* :mod:`repro.parallel.query` — the multi-worker version of the
+  batched exact engine: the lower-bound scan is range-partitioned
+  across a pool and the record fetches stream through per-worker
+  read-only :class:`repro.storage.DiskShard` domains, with answers
+  (ids, distances, tie order) bit-identical to the serial batched
+  engine for any worker count and reconciled
+  :class:`repro.storage.DiskStats` bit-identical to the inline serial
+  replay (``pool_kind="serial"``).
 
 All are wired into the index classes (``workers=`` on the Coconut
-constructors, ``query_batch()`` on every index) and into the benchmark
-CLI as ``--workers`` / ``--batch``.
+constructors, ``query_batch(query_workers=)`` on every index) and into
+the benchmark CLI as ``--workers`` / ``--batch``.
 """
 
 from .batch import approx_query_batch, batched_exact_knn, build_batch_report
 from .merge import (
+    AUTO_POOL_THREAD_BYTES,
     choose_pool_kind,
+    choose_pool_kind_for_bytes,
     parallel_merge_runs,
     partition_runs,
     run_cut_positions,
     sample_splitters,
+)
+from .query import (
+    parallel_batched_exact_knn,
+    parallel_lower_bound_scan,
+    parallel_serial_scan_batch,
+    parallel_sims_query_batch,
+    partition_ranges,
 )
 from .spill import (
     ShardedMergeResult,
@@ -58,6 +75,7 @@ from .summarize import (
 )
 
 __all__ = [
+    "AUTO_POOL_THREAD_BYTES",
     "DEFAULT_CHUNK_SERIES",
     "ParallelSummarizer",
     "ShardedMergeResult",
@@ -65,8 +83,14 @@ __all__ = [
     "batched_exact_knn",
     "build_batch_report",
     "choose_pool_kind",
+    "choose_pool_kind_for_bytes",
+    "parallel_batched_exact_knn",
     "parallel_invsax_keys",
+    "parallel_lower_bound_scan",
     "parallel_merge_runs",
+    "parallel_serial_scan_batch",
+    "parallel_sims_query_batch",
+    "partition_ranges",
     "partition_runs",
     "resolve_workers",
     "run_cut_positions",

@@ -60,11 +60,7 @@ def batched_exact_knn(
         ) + batched_exact_knn(
             queries[half:], k, words, config, fetch, seeds[half:], block_records
         )
-    heaps = [_BoundedMaxHeap(k) for _ in range(n_queries)]
-    for heap, pairs in zip(heaps, seeds or []):
-        for distance, identifier in pairs:
-            if identifier >= 0:
-                heap.offer(float(distance), int(identifier))
+    heaps = seeded_heaps(n_queries, k, seeds)
     if n == 0 or n_queries == 0:
         return [
             _outcome(heap, visited=0, n_records=n) for heap in heaps
@@ -75,11 +71,51 @@ def batched_exact_knn(
     )
     thresholds = np.array([heap.threshold for heap in heaps])
     union = np.nonzero((mindists < thresholds[:, None]).any(axis=0))[0]
+    visited = walk_candidate_blocks(
+        queries, heaps, mindists, union, fetch, block_records
+    )
+    return [
+        _outcome(heap, visited=int(visited[i]), n_records=n)
+        for i, heap in enumerate(heaps)
+    ]
+
+
+def seeded_heaps(
+    n_queries: int,
+    k: int,
+    seeds: list[list[tuple[float, int]]] | None,
+) -> list[_BoundedMaxHeap]:
+    """One bounded heap per query, primed with its seed list."""
+    heaps = [_BoundedMaxHeap(k) for _ in range(n_queries)]
+    for heap, pairs in zip(heaps, seeds or []):
+        for distance, identifier in pairs:
+            if identifier >= 0:
+                heap.offer(float(distance), int(identifier))
+    return heaps
+
+
+def walk_candidate_blocks(
+    queries: np.ndarray,
+    heaps: list[_BoundedMaxHeap],
+    mindists: np.ndarray,
+    candidates: np.ndarray,
+    fetch,
+    block_records: int,
+) -> np.ndarray:
+    """The shared SIMS fetch loop; returns per-query visited counts.
+
+    Walks ``candidates`` (ascending positions into ``mindists``
+    columns) block by block: thresholds shrink as true distances come
+    in, so each block is re-filtered per query before the union of
+    survivors is fetched once.  Both the serial batched engine and
+    each worker of the parallel engine execute exactly this loop —
+    sharing it is what keeps their pruning rules in lockstep, which
+    the bit-identical-answers contract rests on.
+    """
+    n_queries = len(queries)
     visited = np.zeros(n_queries, dtype=np.int64)
-    for start in range(0, len(union), block_records):
-        block = union[start : start + block_records]
-        # Thresholds shrink as true distances come in; re-filter the
-        # block per query, then fetch the union of survivors once.
+    for start in range(0, len(candidates), block_records):
+        block = candidates[start : start + block_records]
         thresholds = np.array([heap.threshold for heap in heaps])
         need = mindists[:, block] < thresholds[:, None]
         alive = need.any(axis=0)
@@ -95,10 +131,7 @@ def batched_exact_knn(
             visited[i] += len(rows)
             for distance, identifier in zip(distances, identifiers[rows]):
                 heaps[i].offer(float(distance), int(identifier))
-    return [
-        _outcome(heap, visited=int(visited[i]), n_records=n)
-        for i, heap in enumerate(heaps)
-    ]
+    return visited
 
 
 def _outcome(heap: _BoundedMaxHeap, visited: int, n_records: int) -> KNNOutcome:

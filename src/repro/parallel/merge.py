@@ -45,20 +45,43 @@ SPLITTER_SAMPLES_PER_RUN = 16
 #: large NumPy payloads release the GIL during the searchsorted/scatter
 #: work and threads share the arrays zero-copy, while tiny payloads are
 #: interpreter-bound under the GIL — worker processes sidestep it and
-#: pickling a few kilobytes costs next to nothing.
+#: pickling a few kilobytes costs next to nothing.  This is the single
+#: documented knob of the auto decision: every ``pool_kind="auto"``
+#: path (merging, spilled cascades, the parallel query engine) resolves
+#: through :func:`choose_pool_kind` / :func:`choose_pool_kind_for_bytes`
+#: against this default, and callers with unusual workloads may pass
+#: their own ``threshold_bytes`` instead of editing a buried literal.
 AUTO_POOL_THREAD_BYTES = 4 << 20
 
 
-def choose_pool_kind(runs: "list[tuple[np.ndarray, np.ndarray]]") -> str:
+def choose_pool_kind_for_bytes(
+    payload_bytes: int, threshold_bytes: int = AUTO_POOL_THREAD_BYTES
+) -> str:
+    """Resolve ``pool_kind="auto"`` from a raw payload byte count.
+
+    Returns ``"thread"`` at or above ``threshold_bytes`` (the NumPy
+    work on a payload that size releases the GIL and threads share it
+    zero-copy), ``"process"`` below it (interpreter-bound work escapes
+    the GIL on separate processes, and shipping a tiny payload is
+    cheap).
+    """
+    return "thread" if payload_bytes >= threshold_bytes else "process"
+
+
+def choose_pool_kind(
+    runs: "list[tuple[np.ndarray, np.ndarray]]",
+    threshold_bytes: int = AUTO_POOL_THREAD_BYTES,
+) -> str:
     """Resolve ``pool_kind="auto"`` from the merge payload size.
 
     Returns ``"thread"`` when the runs carry at least
-    :data:`AUTO_POOL_THREAD_BYTES` of key+payload data (GIL-releasing
-    NumPy work dominates), ``"process"`` otherwise.  Callers that know
-    better pass an explicit kind instead.
+    ``threshold_bytes`` (default :data:`AUTO_POOL_THREAD_BYTES`) of
+    key+payload data (GIL-releasing NumPy work dominates),
+    ``"process"`` otherwise.  Callers that know better pass an explicit
+    kind instead.
     """
     total = sum(keys.nbytes + payloads.nbytes for keys, payloads in runs)
-    return "thread" if total >= AUTO_POOL_THREAD_BYTES else "process"
+    return choose_pool_kind_for_bytes(total, threshold_bytes)
 
 
 def sample_splitters(

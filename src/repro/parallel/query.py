@@ -1,0 +1,457 @@
+"""Multi-worker batched query execution: the parallel SIMS engine.
+
+The batched executor (:mod:`repro.parallel.batch`) shares the two
+expensive steps of the exact-search SIMS pass across a whole query
+batch, but executes both on one thread.  This module parallelizes each
+step while keeping the *answers* bit-identical to the serial batched
+engine:
+
+1. **Parallel lower-bound scan.**  The summary column is partitioned
+   into contiguous worker ranges; each worker computes every query's
+   mindist vector and the batch's candidate union over its own range.
+   Lower bounds are elementwise per record, so concatenating the
+   per-range results in range order reproduces the serial matrix and
+   candidate list exactly — candidates stay in ascending storage
+   order, preserving the skip-sequential fetch contract.
+   ``pool_kind="auto"`` resolves threads vs. processes from the payload
+   size (:func:`repro.parallel.merge.choose_pool_kind_for_bytes`):
+   large summary columns release the GIL inside NumPy and are shared
+   zero-copy by threads, tiny ones are cheaper to ship to processes.
+
+2. **Shard-parallel record fetch.**  The candidate union is cut into
+   contiguous chunks, one per worker.  A read-only
+   :class:`repro.storage.disk.ShardedDisk` session hands each worker a
+   private I/O domain; the worker streams its chunk's unpruned blocks
+   through its own :class:`repro.storage.bufferpool.BufferPool` (its
+   own head, its own counters, its own cache) and fills per-query
+   bounded max-heaps seeded exactly like the serial engine's.  Fetches
+   always run on threads — the simulated device is shared state worker
+   processes could not see — or inline when ``pool_kind="serial"``.
+
+**Answer equivalence.**  Worker heaps retain the k lexicographically
+smallest ``(distance, id)`` pairs of everything offered to them
+(:class:`repro.core.knn._BoundedMaxHeap`), an offer-order-independent
+set.  Each worker's pruning threshold is never tighter than the serial
+engine's at the same record (a worker sees a subset of the offers, so
+its k-th best distance can only be worse), so every record the serial
+engine visits is visited here on the same query's behalf.  The
+coordinator merge — re-offering every worker's retained pairs into
+fresh seeded heaps — therefore reproduces the serial batched answers,
+ids, distances and tie order included, for any worker count and any
+candidate partitioning.  ``visited_records`` may exceed the serial
+engine's (workers lack each other's threshold feedback and prune
+less); a worker's extra visit can displace a serial answer only if its
+true distance *exactly* equals the final k-th distance while its SAX
+lower bound is exactly tight (``mindist == distance == threshold`` in
+float64) — the same degenerate strict-``<``-pruning boundary on which
+the serial engines themselves are already cut off from a tying record
+the brute-force oracle would keep.  Outside that measure-zero
+configuration the answers cannot differ, and the equivalence suite and
+benchmark assert equality outright.
+
+**I/O determinism.**  Each worker's access sequence is a pure function
+of (queries, seeds, summary column, its candidate chunk) — never of
+pool scheduling — and each classifies against its own head.
+Executing the same per-worker plans inline (``pool_kind="serial"``)
+is the *serial replay oracle*: the reconciled
+:class:`repro.storage.cost.DiskStats` of a threaded run are
+bit-identical to it, the same contract the sharded merge established
+(PR 3).  The sharded fetch may read a boundary page once per adjacent
+worker where the serial pass read it once — the usual price of
+partitioned I/O domains; the equivalence suite pins the replay
+contract, and the benchmark reports both costs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.knn import _BoundedMaxHeap
+from ..indexes.base import BatchReport, Measurement
+from ..series.distance import euclidean_batch
+from ..storage.bufferpool import BufferPool
+from ..storage.disk import ShardedDisk
+from ..summaries.paa import paa
+from ..summaries.sax import SAXConfig, mindist_paa_to_words
+from .batch import (
+    MAX_MINDIST_CELLS,
+    _outcome,
+    batched_exact_knn,
+    build_batch_report,
+    seeded_heaps,
+    walk_candidate_blocks,
+)
+from .merge import _make_executor, choose_pool_kind_for_bytes
+from .summarize import resolve_workers
+
+#: Pages cached by each fetch worker's shard-scoped buffer pool.  The
+#: skip-sequential fetch never revisits a page, so the pool changes no
+#: counter — it exists so every worker's reads go through a private
+#: cache domain, mirroring the sharded merge.
+QUERY_SHARD_POOL_PAGES = 8
+
+_POOL_KINDS = ("auto", "thread", "process", "serial")
+
+
+def partition_ranges(n: int, n_parts: int) -> "list[tuple[int, int]]":
+    """Split ``[0, n)`` into ``n_parts`` contiguous balanced ranges."""
+    bounds = np.linspace(0, n, max(1, n_parts) + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(len(bounds) - 1)]
+
+
+def make_sims_fetch(index, device=None):
+    """Bind a leaf-bulk-loaded index's SIMS fetch to a worker device.
+
+    The shared factory behind ``CoconutTree._make_sims_fetch`` and
+    ``CoconutTrie._make_sims_fetch`` (both expose the same fetch
+    vocabulary: ``_fetch_from_leaves(positions, leaf_file=)`` for
+    materialized variants, ``_fetch_from_raw`` + ``_flat_offsets`` for
+    secondary ones).  ``device=None`` returns the ordinary
+    parent-device fetch; a worker's device gets a closure whose every
+    read — leaf pages or raw-file pages — lands on that device.
+    """
+    if device is None:
+        return (
+            index._fetch_from_leaves
+            if index.is_materialized
+            else index._fetch_from_raw
+        )
+    if index.is_materialized:
+        leaf_file = index._leaf_file.attach(device)
+
+        def fetch(positions: np.ndarray):
+            return index._fetch_from_leaves(positions, leaf_file=leaf_file)
+
+        return fetch
+    raw_view = index.raw.view(device)
+
+    def fetch(positions: np.ndarray):
+        offsets = index._flat_offsets[positions]
+        return raw_view.get_many(offsets), offsets
+
+    return fetch
+
+
+def _scan_range(
+    query_paa: np.ndarray,
+    words: np.ndarray,
+    config: SAXConfig,
+    thresholds: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """One worker's lower-bound scan: (mindist rows, local candidates).
+
+    ``words`` is the worker's contiguous slice of the summary column;
+    the returned candidate positions are *local* to it.  Module-level
+    so process pools can pickle it.
+    """
+    mindists = np.stack(
+        [
+            mindist_paa_to_words(query_paa[i], words, config)
+            for i in range(len(query_paa))
+        ]
+    )
+    union = np.nonzero((mindists < thresholds[:, None]).any(axis=0))[0]
+    return mindists, union
+
+
+def parallel_lower_bound_scan(
+    query_paa: np.ndarray,
+    words: np.ndarray,
+    config: SAXConfig,
+    thresholds: np.ndarray,
+    workers: int,
+    pool_kind: str = "auto",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Compute (mindist matrix, candidate union) on a worker pool.
+
+    Bit-identical to the serial computation for any worker count and
+    pool kind: lower bounds are elementwise per record, and per-range
+    results concatenate in range order (candidates ascending).
+    """
+    n = len(words)
+    ranges = [r for r in partition_ranges(n, workers) if r[1] > r[0]]
+    if pool_kind == "auto":
+        payload = words.nbytes + len(query_paa) * n * 8
+        pool_kind = choose_pool_kind_for_bytes(payload)
+    if len(ranges) <= 1 or pool_kind == "serial":
+        parts = [
+            _scan_range(query_paa, words[lo:hi], config, thresholds)
+            for lo, hi in ranges
+        ]
+    else:
+        executor = _make_executor(len(ranges), pool_kind)
+        try:
+            parts = list(
+                executor.map(
+                    _scan_range,
+                    [query_paa] * len(ranges),
+                    [words[lo:hi] for lo, hi in ranges],
+                    [config] * len(ranges),
+                    [thresholds] * len(ranges),
+                )
+            )
+        finally:
+            executor.shutdown(wait=True)
+    if not parts:
+        return (
+            np.empty((len(query_paa), 0)),
+            np.empty(0, dtype=np.int64),
+        )
+    mindists = np.concatenate([m for m, _ in parts], axis=1)
+    union = np.concatenate(
+        [local + lo for (_, local), (lo, _) in zip(parts, ranges)]
+    ).astype(np.int64)
+    return mindists, union
+
+
+def _fetch_partition(
+    queries: np.ndarray,
+    k: int,
+    mindists: np.ndarray,
+    candidates: np.ndarray,
+    seeds: "list[list[tuple[float, int]]]",
+    fetch,
+    block_records: int,
+) -> "tuple[list[_BoundedMaxHeap], np.ndarray]":
+    """One fetch worker: walk a candidate chunk, fill per-query heaps.
+
+    Runs the *same* block loop as the serial batched engine
+    (:func:`repro.parallel.batch.walk_candidate_blocks`) on this
+    worker's chunk — except the thresholds only ever see the chunk's
+    offers (plus the shared seeds), so they are never tighter than the
+    serial engine's and pruning can only be more conservative.
+    """
+    heaps = seeded_heaps(len(queries), k, seeds)
+    visited = walk_candidate_blocks(
+        queries, heaps, mindists, candidates, fetch, block_records
+    )
+    return heaps, visited
+
+
+def parallel_batched_exact_knn(
+    queries: np.ndarray,
+    k: int,
+    words: np.ndarray,
+    config: SAXConfig,
+    make_fetch,
+    disk,
+    seeds: "list[list[tuple[float, int]]] | None" = None,
+    workers: int | None = 2,
+    pool_kind: str = "auto",
+    block_records: int = 4096,
+):
+    """Exact k-NN for a batch, both SIMS phases on worker pools.
+
+    Parameters mirror :func:`repro.parallel.batch.batched_exact_knn`
+    except that ``make_fetch(device)`` is a factory: called with
+    ``None`` it returns the index's ordinary fetch (the serial path);
+    called with a worker's device (a shard-scoped buffer pool) it
+    returns a fetch whose every read lands on that device.  ``workers``
+    follows the build convention (``None``/``0`` = all cores, ``1`` =
+    the serial engine); ``pool_kind="serial"`` executes the parallel
+    plan inline — the replay oracle for the I/O-determinism contract.
+
+    Returns the same ``KNNOutcome`` list as the serial engine, with
+    identical ids, distances and tie order for any worker count;
+    ``visited_records`` counts what the workers actually evaluated.
+    """
+    if pool_kind not in _POOL_KINDS:
+        raise ValueError(f"pool_kind must be one of {_POOL_KINDS}, got {pool_kind!r}")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n_queries, n = len(queries), len(words)
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return batched_exact_knn(
+            queries, k, words, config, make_fetch(None), seeds, block_records
+        )
+    if n_queries > 1 and n_queries * n > MAX_MINDIST_CELLS:
+        # Same sub-batch split (and seed routing) as the serial engine:
+        # the memory cap applies to the per-worker mindist slices too.
+        half = n_queries // 2
+        seeds = seeds or [[] for _ in range(n_queries)]
+        return parallel_batched_exact_knn(
+            queries[:half], k, words, config, make_fetch, disk,
+            seeds[:half], workers, pool_kind, block_records,
+        ) + parallel_batched_exact_knn(
+            queries[half:], k, words, config, make_fetch, disk,
+            seeds[half:], workers, pool_kind, block_records,
+        )
+    seeds = seeds or [[] for _ in range(n_queries)]
+    heaps = [_BoundedMaxHeap(k) for _ in range(n_queries)]
+    for heap, pairs in zip(heaps, seeds):
+        for distance, identifier in pairs:
+            if identifier >= 0:
+                heap.offer(float(distance), int(identifier))
+    if n == 0 or n_queries == 0:
+        return [_outcome(heap, visited=0, n_records=n) for heap in heaps]
+    query_paa = paa(queries, config.word_length)
+    thresholds = np.array([heap.threshold for heap in heaps])
+    mindists, union = parallel_lower_bound_scan(
+        query_paa, words, config, thresholds, workers, pool_kind
+    )
+    visited = np.zeros(n_queries, dtype=np.int64)
+    if len(union):
+        chunks = [
+            chunk
+            for chunk in np.array_split(union, min(workers, len(union)))
+            if len(chunk)
+        ]
+        results = _run_fetch_partitions(
+            disk, chunks, queries, k, mindists, seeds, make_fetch,
+            block_records, pool_kind,
+        )
+        for worker_heaps, worker_visited in results:
+            for i in range(n_queries):
+                heaps[i].merge(worker_heaps[i])
+            visited += worker_visited
+    return [
+        _outcome(heap, visited=int(visited[i]), n_records=n)
+        for i, heap in enumerate(heaps)
+    ]
+
+
+def _run_fetch_partitions(
+    disk,
+    chunks: "list[np.ndarray]",
+    queries: np.ndarray,
+    k: int,
+    mindists: np.ndarray,
+    seeds,
+    make_fetch,
+    block_records: int,
+    pool_kind: str,
+):
+    """Run the per-chunk fetch plans on read-only shards.
+
+    Threaded unless ``pool_kind="serial"`` (the inline replay); either
+    way the shards reconcile into the parent in partition order, so the
+    resulting :class:`DiskStats` are a pure function of the plans.
+    """
+    session = ShardedDisk(
+        disk,
+        [(0, 0)] * len(chunks),
+        names=[f"query-fetch-p{p}" for p in range(len(chunks))],
+        read_only=True,
+    )
+
+    def run_partition(p: int):
+        with BufferPool(session.shards[p], QUERY_SHARD_POOL_PAGES) as pool:
+            return _fetch_partition(
+                queries, k, mindists, chunks[p], seeds, make_fetch(pool),
+                block_records,
+            )
+
+    with session:
+        if pool_kind == "serial" or len(chunks) == 1:
+            return [run_partition(p) for p in range(len(chunks))]
+        with ThreadPoolExecutor(max_workers=len(chunks)) as executor:
+            return list(executor.map(run_partition, range(len(chunks))))
+
+
+def parallel_sims_query_batch(
+    index, batch, prepare_parallel, query_workers, pool_kind: str = "auto"
+) -> BatchReport:
+    """Multi-worker ``query_batch`` for SIMS-backed indexes.
+
+    ``prepare_parallel`` runs inside the measurement and returns the
+    index's ``(words, make_fetch)`` pair — summary-column I/O is
+    charged to the batch, and ``make_fetch`` binds fetches to worker
+    devices.  Approximate seeding stays on the parent device, before
+    the sharded fetch session opens, exactly like the serial engine.
+    """
+    queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
+    with Measurement(index.disk) as measure:
+        words, make_fetch = prepare_parallel()
+        seeds = []
+        for query in queries:
+            approx = index.approximate_search(query)
+            seeds.append([(approx.distance, approx.answer_idx)])
+        outcomes = parallel_batched_exact_knn(
+            queries,
+            batch.k,
+            words,
+            index.config,
+            make_fetch,
+            index.disk,
+            seeds=seeds,
+            workers=query_workers,
+            pool_kind=pool_kind,
+        )
+    return build_batch_report(outcomes, measure)
+
+
+def parallel_serial_scan_batch(
+    index, batch, query_workers, pool_kind: str = "auto"
+) -> BatchReport:
+    """Multi-worker batched brute-force scan (the SerialScan path).
+
+    The record space is split into page-aligned contiguous ranges, one
+    per worker; each worker streams its range through a read-only
+    shard + private pool and keeps per-query heaps of its local top-k.
+    Because the heaps retain the k lexicographically smallest
+    ``(distance, id)`` pairs, the coordinator merge equals the serial
+    single-pass answers exactly — ties included — for any partitioning.
+    """
+    if pool_kind not in _POOL_KINDS:
+        raise ValueError(
+            f"pool_kind must be one of {_POOL_KINDS}, got {pool_kind!r}"
+        )
+    queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
+    raw = index._require_built()
+    k = batch.k
+    workers = resolve_workers(query_workers)
+    spp = raw.series_per_page if raw.pages_per_series == 1 else 1
+    n_pages = -(-raw.n_series // spp)
+    ranges = []
+    for page_lo, page_hi in partition_ranges(n_pages, min(workers, n_pages)):
+        lo, hi = page_lo * spp, min(page_hi * spp, raw.n_series)
+        if hi > lo:
+            ranges.append((lo, hi))
+
+    def scan_partition(p: int, device) -> "list[_BoundedMaxHeap]":
+        lo, hi = ranges[p]
+        view = raw.view(device)
+        local = [_BoundedMaxHeap(k) for _ in queries]
+        for start, block in view.scan(start=lo, stop=hi):
+            block64 = block.astype(np.float64)
+            for heap, query in zip(local, queries):
+                distances = euclidean_batch(query, block64)
+                top = np.argsort(distances, kind="stable")[:k]
+                for j in top:
+                    heap.offer(float(distances[j]), start + int(j))
+        return local
+
+    heaps = [_BoundedMaxHeap(k) for _ in queries]
+    with Measurement(index.disk) as measure:
+        if len(ranges) <= 1:
+            results = [scan_partition(p, index.disk) for p in range(len(ranges))]
+        else:
+            session = ShardedDisk(
+                index.disk,
+                [(0, 0)] * len(ranges),
+                names=[f"scan-p{p}" for p in range(len(ranges))],
+                read_only=True,
+            )
+
+            def run(p: int) -> "list[_BoundedMaxHeap]":
+                with BufferPool(
+                    session.shards[p], QUERY_SHARD_POOL_PAGES
+                ) as pool:
+                    return scan_partition(p, pool)
+
+            with session:
+                if pool_kind == "serial":
+                    results = [run(p) for p in range(len(ranges))]
+                else:
+                    with ThreadPoolExecutor(max_workers=len(ranges)) as executor:
+                        results = list(executor.map(run, range(len(ranges))))
+        for local in results:
+            for heap, partial in zip(heaps, local):
+                heap.merge(partial)
+    outcomes = [
+        _outcome(heap, visited=raw.n_series, n_records=raw.n_series)
+        for heap in heaps
+    ]
+    return build_batch_report(outcomes, measure)

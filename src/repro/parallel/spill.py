@@ -167,28 +167,27 @@ def _merge_partition_to_shard(
     pool), so the access sequence — and with it the classification —
     is independent of the other partitions and of pool scheduling.
     """
-    pool = BufferPool(shard, capacity_pages=SHARD_POOL_PAGES)
-    slices = []
-    for (file, _, _), cut in zip(sources, cuts):
-        lo, hi = int(cut[p]), int(cut[p + 1])
-        if hi > lo:
-            slices.append((file.attach(pool), hi - lo, lo))
-    writer = _ExtentWriter(shard, out_first, byte_lo, byte_hi)
     key_parts: list[np.ndarray] = []
     payload_parts: list[np.ndarray] = []
-    for chunk_keys, chunk_payloads in merge_stream(
-        engine, slices, rec_dtype, buffer_records
-    ):
-        block = np.empty(len(chunk_keys), dtype=rec_dtype)
-        block["k"] = chunk_keys
-        block["v"] = chunk_payloads
-        writer.push(block.tobytes())
-        if collect:
-            key_parts.append(chunk_keys)
-            if collect == "records":
-                payload_parts.append(chunk_payloads)
-    writer.close()
-    pool.detach()
+    with BufferPool(shard, capacity_pages=SHARD_POOL_PAGES) as pool:
+        slices = []
+        for (file, _, _), cut in zip(sources, cuts):
+            lo, hi = int(cut[p]), int(cut[p + 1])
+            if hi > lo:
+                slices.append((file.attach(pool), hi - lo, lo))
+        writer = _ExtentWriter(shard, out_first, byte_lo, byte_hi)
+        for chunk_keys, chunk_payloads in merge_stream(
+            engine, slices, rec_dtype, buffer_records
+        ):
+            block = np.empty(len(chunk_keys), dtype=rec_dtype)
+            block["k"] = chunk_keys
+            block["v"] = chunk_payloads
+            writer.push(block.tobytes())
+            if collect:
+                key_parts.append(chunk_keys)
+                if collect == "records":
+                    payload_parts.append(chunk_payloads)
+        writer.close()
 
     def _concat(parts: "list[np.ndarray]", field: str) -> np.ndarray:
         if parts:
@@ -297,10 +296,10 @@ def sharded_spill_merge(
     session = ShardedDisk(
         disk, extents, names=[f"{out_name}-p{p}" for p in range(n_parts)]
     )
-    try:
+    with session as shards:
         tasks = [
             (
-                session.shards[p],
+                shards[p],
                 sources,
                 cuts,
                 p,
@@ -321,8 +320,6 @@ def sharded_spill_merge(
                 results = list(
                     executor.map(lambda task: _merge_partition_to_shard(*task), tasks)
                 )
-    finally:
-        session.detach()
     fragments = [piece for frags, _, _ in results for piece in frags]
     _write_boundary_pages(disk, out_first, fragments)
     keys = payloads = None
@@ -412,13 +409,13 @@ def _cut_sources(sources, n_partitions, splitters):
 
 def _partition_chunks(shard, sources, cuts, p, rec_dtype, buffer_records, engine):
     """Stream one partition's merged chunks through its shard (reads only)."""
-    pool = BufferPool(shard, capacity_pages=SHARD_POOL_PAGES)
-    slices = []
-    for (file, _, _), cut in zip(sources, cuts):
-        lo, hi = int(cut[p]), int(cut[p + 1])
-        if hi > lo:
-            slices.append((file.attach(pool), hi - lo, lo))
-    yield from merge_stream(engine, slices, rec_dtype, buffer_records)
+    with BufferPool(shard, capacity_pages=SHARD_POOL_PAGES) as pool:
+        slices = []
+        for (file, _, _), cut in zip(sources, cuts):
+            lo, hi = int(cut[p]), int(cut[p + 1])
+            if hi > lo:
+                slices.append((file.attach(pool), hi - lo, lo))
+        yield from merge_stream(engine, slices, rec_dtype, buffer_records)
 
 
 def sharded_stream_merge(
@@ -460,11 +457,11 @@ def sharded_stream_merge(
         names=[f"stream-merge-p{p}" for p in range(n_parts)],
         read_only=True,
     )
-    try:
+    with session as shards:
         if pool_kind == "serial" or n_parts == 1:
             for p in range(n_parts):
                 for chunk_keys, chunk_payloads in _partition_chunks(
-                    session.shards[p], sources, cuts, p, rec_dtype,
+                    shards[p], sources, cuts, p, rec_dtype,
                     buffer_records, engine,
                 ):
                     yield from emitter.push(chunk_keys, chunk_payloads)
@@ -475,7 +472,7 @@ def sharded_stream_merge(
         def feed(p: int) -> None:
             try:
                 for chunk in _partition_chunks(
-                    session.shards[p], sources, cuts, p, rec_dtype,
+                    shards[p], sources, cuts, p, rec_dtype,
                     buffer_records, engine,
                 ):
                     queues[p].put(chunk)
@@ -511,8 +508,6 @@ def sharded_stream_merge(
                     except queue.Empty:
                         pass
                     thread.join(timeout=0.01)
-    finally:
-        session.detach()
 
 
 def stream_run_file(

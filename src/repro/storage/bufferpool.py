@@ -6,6 +6,13 @@ index whose working set fits in the pool behaves as if it were in
 memory, while a larger working set degrades to disk-bound behaviour —
 the transition every experiment in the paper sweeps across.
 
+Pools support ``with`` (detach on exit, even on error paths), so a
+worker that fails mid-stream can never leave a pool bound to a shard
+its session is about to reconcile::
+
+    with BufferPool(shard, capacity_pages=8) as pool:
+        ...  # every read through the pool lands on the shard
+
 A pool is bound to exactly one device at a time — the shared
 :class:`repro.storage.disk.SimulatedDisk` or, in a sharded session, one
 worker's private :class:`repro.storage.disk.DiskShard`.  Pools are
@@ -76,6 +83,16 @@ class BufferPool:
         self.invalidate()
         self.disk = None
 
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Detaching on every exit path keeps error handling honest: a
+        # worker that dies mid-merge cannot leave a pool holding a
+        # reference (and cached pages) of a shard that is about to be
+        # reconciled.  Detach is idempotent, so nested use is safe.
+        self.detach()
+
     def _require_attached(self) -> SimulatedDisk:
         if self.disk is None:
             raise PageError("buffer pool is detached; attach a device first")
@@ -115,6 +132,81 @@ class BufferPool:
         self._admit(page_id, bytes(data))
 
     write_page = write
+
+    # ------------------------------------------------------------------
+    # Bytes-level streaming (the PagedFile fast path, cache-aware)
+    # ------------------------------------------------------------------
+    def read_run_bytes(self, first_page: int, n_pages: int) -> bytes:
+        """Bulk read through the cache, padded to whole pages.
+
+        Hits and misses are counted page by page exactly as
+        :meth:`read` would, consecutive misses are fetched from the
+        device in one bulk call (their classification equals the
+        per-page sequence: first access against the head, the rest
+        sequential), and admissions happen in ascending page order so
+        the LRU state matches the per-page path.  Pages admitted from a
+        bulk read are stored zero-padded to the page size; per-page
+        reads of a *short* tail page served from this cache therefore
+        return padded bytes — the streaming consumers (run cursors,
+        leaf readers) never look past the payload, and no caller mixes
+        the two access styles on the same page.
+        """
+        if n_pages <= 0:
+            return b""
+        device = self._require_attached()
+        page_size = device.page_size
+        bulk = getattr(device, "read_run_bytes", None)
+        cache = self._cache
+        parts: list[bytes] = []
+        page = first_page
+        end = first_page + n_pages
+        while page < end:
+            if page in cache:
+                self.hits += 1
+                cache.move_to_end(page)
+                parts.append(cache[page].ljust(page_size, b"\x00"))
+                page += 1
+                continue
+            stop = page + 1
+            while stop < end and stop not in cache:
+                stop += 1
+            self.misses += stop - page
+            if bulk is not None:
+                blob = bulk(page, stop - page)
+                for i in range(stop - page):
+                    self._admit(
+                        page + i, blob[i * page_size : (i + 1) * page_size]
+                    )
+                parts.append(blob)
+            else:  # pragma: no cover - devices without the bulk interface
+                for p in range(page, stop):
+                    data = device.read_page(p)
+                    self._admit(p, data)
+                    parts.append(data.ljust(page_size, b"\x00"))
+            page = stop
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    def write_run_bytes(self, first_page: int, data, n_pages: int) -> None:
+        """Bulk write-through; cached copies match the per-page path."""
+        if n_pages <= 0:
+            return
+        device = self._require_attached()
+        page_size = device.page_size
+        bulk = getattr(device, "write_run_bytes", None)
+        view = memoryview(data)
+        if bulk is not None:
+            bulk(first_page, view, n_pages)
+            for i in range(n_pages):
+                self._admit(
+                    first_page + i,
+                    bytes(view[i * page_size : (i + 1) * page_size]),
+                )
+        else:  # pragma: no cover - devices without the bulk interface
+            for i in range(n_pages):
+                self.write(
+                    first_page + i,
+                    bytes(view[i * page_size : (i + 1) * page_size]),
+                )
 
     def _admit(self, page_id: int, data: bytes) -> None:
         if self.capacity_pages == 0:

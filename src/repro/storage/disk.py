@@ -83,6 +83,35 @@ class _PagedDevice:
         self._head = page_id
 
     # ------------------------------------------------------------------
+    # Bulk classification (the bytes-level fast path)
+    # ------------------------------------------------------------------
+    def _count_read_run(self, first_page: int, n_pages: int) -> None:
+        """Classify ``n_pages`` consecutive reads in one step.
+
+        Bit-identical to calling :meth:`_count_read` page by page: the
+        first access is sequential iff it lands right after the head,
+        every following access within the run is sequential by
+        construction, and the head ends on the run's last page.
+        """
+        if self._head is not None and first_page == self._head + 1:
+            self._stats.sequential_reads += n_pages
+        else:
+            self._stats.random_reads += 1
+            self._stats.sequential_reads += n_pages - 1
+        self._stats.bytes_read += n_pages * self.page_size
+        self._head = first_page + n_pages - 1
+
+    def _count_write_run(self, first_page: int, n_pages: int) -> None:
+        """Write-side twin of :meth:`_count_read_run`."""
+        if self._head is not None and first_page == self._head + 1:
+            self._stats.sequential_writes += n_pages
+        else:
+            self._stats.random_writes += 1
+            self._stats.sequential_writes += n_pages - 1
+        self._stats.bytes_written += n_pages * self.page_size
+        self._head = first_page + n_pages - 1
+
+    # ------------------------------------------------------------------
     # Streaming convenience
     # ------------------------------------------------------------------
     def read_run(self, first_page: int, n_pages: int) -> list[bytes]:
@@ -205,6 +234,58 @@ class SimulatedDisk(_PagedDevice):
         self._count_read(page_id)
         return self._pages.get(page_id, b"")
 
+    # ------------------------------------------------------------------
+    # Bytes-level streaming (whole-run I/O without per-page dispatch)
+    # ------------------------------------------------------------------
+    def read_run_bytes(self, first_page: int, n_pages: int) -> bytes:
+        """Read a physically contiguous run as one padded byte stream.
+
+        Returns exactly ``n_pages * page_size`` bytes (short pages are
+        zero-padded).  Classification, counters and the final head
+        position are bit-identical to ``n_pages`` :meth:`read_page`
+        calls — the accounting happens in one bulk step, which is what
+        makes :meth:`repro.storage.pager.PagedFile.read_stream` cheap
+        enough to scale across threads.
+        """
+        if n_pages <= 0:
+            return b""
+        self._check_unsharded("read_page")
+        self._check_page(first_page)
+        self._check_page(first_page + n_pages - 1)
+        self._count_read_run(first_page, n_pages)
+        pages, page_size = self._pages, self.page_size
+        return b"".join(
+            pages.get(p, b"").ljust(page_size, b"\x00")
+            for p in range(first_page, first_page + n_pages)
+        )
+
+    def write_run_bytes(self, first_page: int, data, n_pages: int) -> None:
+        """Write one byte stream across a physically contiguous run.
+
+        ``data`` (bytes or memoryview) is split at page boundaries; the
+        final page may be short and is stored short, exactly as the
+        per-page path stores it.  Accounting is bit-identical to
+        ``n_pages`` :meth:`write_page` calls.
+        """
+        if n_pages <= 0:
+            return
+        self._check_unsharded("write_page")
+        self._check_page(first_page)
+        self._check_page(first_page + n_pages - 1)
+        page_size = self.page_size
+        if len(data) > n_pages * page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds {n_pages} pages of "
+                f"{page_size} bytes"
+            )
+        self._count_write_run(first_page, n_pages)
+        view = memoryview(data)
+        pages = self._pages
+        for i in range(n_pages):
+            pages[first_page + i] = bytes(
+                view[i * page_size : (i + 1) * page_size]
+            )
+
     def _check_page(self, page_id: int) -> None:
         if not 0 <= page_id < self._next_page:
             raise PageError(
@@ -322,6 +403,72 @@ class DiskShard(_PagedDevice):
         # parent is fenced and sibling writes stay shard-local), so this
         # lookup is safe from any thread.
         return self.parent._pages.get(page_id, b"")
+
+    # ------------------------------------------------------------------
+    # Bytes-level streaming (see SimulatedDisk for the contract)
+    # ------------------------------------------------------------------
+    def _readable(self, page_id: int) -> bool:
+        if page_id in self._pages:
+            return True
+        in_extent = (
+            self.first_page <= page_id < self.first_page + self.extent_pages
+        )
+        return in_extent or 0 <= page_id < self._readable_below
+
+    def read_run_bytes(self, first_page: int, n_pages: int) -> bytes:
+        """Bulk read of a contiguous run, padded to whole pages.
+
+        Local shard pages take precedence over the parent snapshot page
+        by page, and every counter matches ``n_pages`` single-page
+        reads exactly.
+        """
+        if n_pages <= 0:
+            return b""
+        self._check_attached()
+        for page_id in range(first_page, first_page + n_pages):
+            if not self._readable(page_id):
+                raise PageError(
+                    f"{self.name}: page {page_id} is neither in the shard's "
+                    f"extent nor readable from the parent snapshot "
+                    f"(< {self._readable_below})"
+                )
+        self._count_read_run(first_page, n_pages)
+        local, parent, page_size = self._pages, self.parent._pages, self.page_size
+        return b"".join(
+            (
+                local[p] if p in local else parent.get(p, b"")
+            ).ljust(page_size, b"\x00")
+            for p in range(first_page, first_page + n_pages)
+        )
+
+    def write_run_bytes(self, first_page: int, data, n_pages: int) -> None:
+        """Bulk write within the shard's extent (see SimulatedDisk)."""
+        if n_pages <= 0:
+            return
+        self._check_attached()
+        last = first_page + n_pages - 1
+        if not (
+            self.first_page <= first_page
+            and last < self.first_page + self.extent_pages
+        ):
+            raise PageError(
+                f"{self.name}: pages [{first_page}, {last}] outside writable "
+                f"extent [{self.first_page}, "
+                f"{self.first_page + self.extent_pages})"
+            )
+        page_size = self.page_size
+        if len(data) > n_pages * page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds {n_pages} pages of "
+                f"{page_size} bytes"
+            )
+        self._count_write_run(first_page, n_pages)
+        view = memoryview(data)
+        pages = self._pages
+        for i in range(n_pages):
+            pages[first_page + i] = bytes(
+                view[i * page_size : (i + 1) * page_size]
+            )
 
     def _check_attached(self) -> None:
         if not self._attached:

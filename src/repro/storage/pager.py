@@ -133,6 +133,30 @@ class PagedFile:
             remaining -= extent.n_pages
         raise AssertionError("extent bookkeeping out of sync")  # pragma: no cover
 
+    def _physical_runs(
+        self, first_logical: int, n_pages: int
+    ) -> "list[tuple[int, int]]":
+        """Map a logical page range to contiguous physical runs.
+
+        Returns ``(first_physical, n_pages)`` pairs in logical order —
+        one pair per extent the range crosses.  This is the planning
+        step of the bytes-level streaming fast path: the extent walk
+        happens once per range instead of once per page.
+        """
+        runs: list[tuple[int, int]] = []
+        skip, need = first_logical, n_pages
+        for extent in self._extents:
+            if need == 0:
+                break
+            if skip >= extent.n_pages:
+                skip -= extent.n_pages
+                continue
+            take = min(extent.n_pages - skip, need)
+            runs.append((extent.first_page + skip, take))
+            skip = 0
+            need -= take
+        return runs
+
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
@@ -152,30 +176,58 @@ class PagedFile:
         """Write a byte stream across consecutive logical pages.
 
         The file is grown as needed.  Returns the number of pages used.
+        The inner loop streams whole extents through the device's
+        bytes-level interface (``write_run_bytes``) when it has one;
+        content, counters and head movement are bit-identical to the
+        page-at-a-time path either way.
         """
         page_size = self.disk.page_size
         n_pages = max(1, -(-len(data) // page_size))
         needed = at_page + n_pages - self._n_pages
         if needed > 0:
             self.grow(needed)
-        for i in range(n_pages):
-            chunk = data[i * page_size : (i + 1) * page_size]
-            self.write(at_page + i, chunk)
+        writer = getattr(self.disk, "write_run_bytes", None)
+        if writer is None:  # pragma: no cover - non-bulk devices
+            for i in range(n_pages):
+                chunk = data[i * page_size : (i + 1) * page_size]
+                self.write(at_page + i, chunk)
+            return n_pages
+        view = memoryview(data)
+        at = 0
+        for first_physical, run_pages in self._physical_runs(at_page, n_pages):
+            take = min(len(data) - at, run_pages * page_size)
+            writer(first_physical, view[at : at + take], run_pages)
+            at += take
         return n_pages
 
     def read_stream(self, first_page: int, n_pages: int) -> bytes:
-        """Read consecutive logical pages as one byte stream."""
+        """Read consecutive logical pages as one byte stream.
+
+        Short pages are zero-padded, so the result is always exactly
+        ``n_pages * page_size`` bytes.  Whole extents stream through
+        the device's ``read_run_bytes`` when available — same bytes,
+        same classified counters as reading page by page.
+        """
         if first_page < 0 or first_page + n_pages > self._n_pages:
             raise PageError(
                 f"range [{first_page}, {first_page + n_pages}) out of "
                 f"[0, {self._n_pages})"
             )
-        parts = []
-        for i in range(first_page, first_page + n_pages):
-            parts.append(self.read(i))
-        return b"".join(
-            part.ljust(self.disk.page_size, b"\x00") for part in parts
-        )
+        reader = getattr(self.disk, "read_run_bytes", None)
+        if reader is None:  # pragma: no cover - non-bulk devices
+            parts = [
+                self.read(i) for i in range(first_page, first_page + n_pages)
+            ]
+            return b"".join(
+                part.ljust(self.disk.page_size, b"\x00") for part in parts
+            )
+        parts = [
+            reader(first_physical, run_pages)
+            for first_physical, run_pages in self._physical_runs(
+                first_page, n_pages
+            )
+        ]
+        return parts[0] if len(parts) == 1 else b"".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

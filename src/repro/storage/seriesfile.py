@@ -120,11 +120,56 @@ class RawSeriesFile:
         """Route subsequent reads through a buffer pool (or detach)."""
         self._pool = pool
 
+    def view(self, device) -> "RawSeriesFile":
+        """A read-only view of this file performing its I/O on ``device``.
+
+        Same geometry, same extents, same records — but every read is
+        classified against ``device``'s own head and charged to its own
+        counters.  This is how parallel query workers stream their
+        record fetches through a private shard (or a shard-scoped
+        buffer pool) without touching the parent device or each other:
+        one view per worker, no shared mutable state.  Views must not
+        be appended to.
+        """
+        view = RawSeriesFile.__new__(RawSeriesFile)
+        view.disk = device
+        view.length = self.length
+        view.name = self.name
+        view.record_bytes = self.record_bytes
+        view.series_per_page = self.series_per_page
+        view.pages_per_series = self.pages_per_series
+        view.file = self.file.attach(device)
+        view.n_series = self.n_series
+        view._pool = None
+        return view
+
     def _read_logical(self, logical_page: int) -> bytes:
         physical = self.file.physical_page(logical_page)
         if self._pool is not None:
             return self._pool.read(physical)
         return self.disk.read_page(physical)
+
+    def _read_logical_run(self, first_page: int, n_pages: int) -> bytes:
+        """Read consecutive logical pages as one page-padded stream.
+
+        Streams whole extents through the device's bytes-level
+        interface when available (same counters as page-at-a-time).
+        """
+        device = self._pool if self._pool is not None else self.disk
+        reader = getattr(device, "read_run_bytes", None)
+        if reader is None:  # pragma: no cover - non-bulk devices
+            page_size = self.disk.page_size
+            return b"".join(
+                self._read_logical(first_page + i).ljust(page_size, b"\x00")
+                for i in range(n_pages)
+            )
+        parts = [
+            reader(first_physical, run_pages)
+            for first_physical, run_pages in self.file._physical_runs(
+                first_page, n_pages
+            )
+        ]
+        return parts[0] if len(parts) == 1 else b"".join(parts)
 
     def _page_of(self, idx: int) -> int:
         if self.pages_per_series == 1:
@@ -176,45 +221,65 @@ class RawSeriesFile:
                 out[pos] = self.get(idx)
         return out
 
-    def scan(self, chunk_series: int | None = None) -> Iterator[tuple[int, np.ndarray]]:
-        """Sequentially scan the file, yielding (first_index, block).
+    def scan(
+        self,
+        chunk_series: int | None = None,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Sequentially scan records ``[start, stop)`` as (index, block).
 
-        ``chunk_series`` bounds the size of each yielded block; blocks
-        are always aligned to page boundaries.
+        ``chunk_series`` bounds the size of each yielded block; reads
+        are always whole pages, streamed through the bytes-level device
+        interface.  The default arguments scan the entire file; a
+        contiguous sub-range is how parallel scan workers split the
+        file between them (each worker's reads ascend within its own
+        range, preserving per-domain skip-sequential access).
         """
-        if self.n_series == 0:
+        stop = self.n_series if stop is None else min(stop, self.n_series)
+        start = max(0, start)
+        if start >= stop:
             return
         if self.pages_per_series == 1:
             spp = self.series_per_page
+            page_size = self.disk.page_size
             chunk_pages = max(1, (chunk_series or spp * 64) // spp)
-            idx = 0
-            page = 0
-            n_pages = self._page_of(self.n_series - 1) + 1
             payload = spp * self.record_bytes
-            while page < n_pages:
-                take = min(chunk_pages, n_pages - page)
-                parts = [self._read_logical(page + i) for i in range(take)]
-                # Records are packed per page: strip each page's tail
-                # padding (pages whose size is not a record multiple)
-                # before treating the records as contiguous.
-                blob = b"".join(
-                    p[:payload].ljust(payload, b"\x00") for p in parts
-                )
-                count = min(take * spp, self.n_series - idx)
+            idx = start
+            page = start // spp
+            last_page = self._page_of(stop - 1)
+            while page <= last_page:
+                take = min(chunk_pages, last_page - page + 1)
+                raw = self._read_logical_run(page, take)
+                if payload == page_size:
+                    blob = raw
+                else:
+                    # Records are packed per page: strip each page's
+                    # tail padding (pages whose size is not a record
+                    # multiple) before treating records as contiguous.
+                    chunk_view = memoryview(raw)
+                    blob = b"".join(
+                        chunk_view[i * page_size : i * page_size + payload]
+                        for i in range(take)
+                    )
+                block_first = page * spp
+                lo = idx - block_first
+                hi = min((page + take) * spp, stop) - block_first
                 block = np.frombuffer(
-                    blob[: count * self.record_bytes], dtype=np.float32
-                ).reshape(count, self.length)
+                    blob[lo * self.record_bytes : hi * self.record_bytes],
+                    dtype=np.float32,
+                ).reshape(hi - lo, self.length)
                 yield idx, block
-                idx += count
+                idx = block_first + hi
                 page += take
         else:
             step = max(1, chunk_series or 64)
-            for start in range(0, self.n_series, step):
-                count = min(step, self.n_series - start)
+            for first in range(start, stop, step):
+                count = min(step, stop - first)
                 block = np.empty((count, self.length), dtype=np.float32)
                 for i in range(count):
-                    block[i] = self.get(start + i)
-                yield start, block
+                    block[i] = self.get(first + i)
+                yield first, block
 
     @property
     def size_bytes(self) -> int:

@@ -167,3 +167,98 @@ def test_pool_as_device_for_paged_file_views():
     view.read_stream(0, 2)  # cached: no disk I/O
     assert disk.stats.total_reads == 0
     assert pool.hits >= 2
+
+
+# --------------------------------------------- context-manager lifecycle
+def test_pool_context_manager_detaches_on_exit():
+    disk = make_disk_with_pages(2)
+    with BufferPool(disk, capacity_pages=2) as pool:
+        pool.read(0)
+        assert pool.attached
+    assert not pool.attached
+    assert pool.cached_pages == 0
+
+
+def test_pool_context_manager_detaches_on_error():
+    disk = make_disk_with_pages(2)
+    with pytest.raises(RuntimeError):
+        with BufferPool(disk, capacity_pages=2) as pool:
+            pool.read(0)
+            raise RuntimeError("worker died")
+    assert not pool.attached
+    assert pool.cached_pages == 0
+
+
+def test_sharded_session_unfences_parent_on_error():
+    """An exception inside a ``with ShardedDisk`` cannot leave the
+    parent device fenced (the satellite contract for error paths)."""
+    disk = make_disk_with_pages(2)
+    extent = disk.allocate(2)
+    with pytest.raises(RuntimeError):
+        with ShardedDisk(disk, [(extent, 2)]) as (shard,):
+            with BufferPool(shard, capacity_pages=2) as pool:
+                pool.read(0)
+                raise RuntimeError("partition failed")
+    assert not disk.sharded
+    assert not pool.attached
+    disk.write_page(0, b"writable again")  # parent accepts I/O again
+    assert disk.read_page(0) == b"writable again"
+
+
+# --------------------------------------------- bytes-level bulk streaming
+def test_bulk_read_matches_per_page_reads_exactly():
+    """read_run_bytes: same bytes, hits, misses, LRU and disk counters
+    as the equivalent per-page loop, for any pre-warmed cache state."""
+    import numpy as np
+
+    rng = np.random.default_rng(5)
+    for trial in range(25):
+        n_pages = int(rng.integers(4, 20))
+        payload = bytes(rng.integers(0, 256, size=n_pages * 64, dtype=np.uint8))
+        disks = []
+        for _ in range(2):
+            disk = SimulatedDisk(page_size=64)
+            file = PagedFile(disk, n_pages=n_pages)
+            file.write_stream(payload)
+            disk.reset_stats()
+            disk.park_head()
+            disks.append((disk, file))
+        (d1, f1), (d2, f2) = disks
+        capacity = int(rng.integers(0, n_pages + 2))
+        p1, p2 = BufferPool(d1, capacity), BufferPool(d2, capacity)
+        warm = rng.choice(n_pages, size=int(rng.integers(0, n_pages)), replace=False)
+        for w in warm:
+            p1.read(int(w))
+            p2.read(int(w))
+        first = int(rng.integers(0, n_pages))
+        count = int(rng.integers(1, n_pages - first + 1))
+        bulk = p1.read_run_bytes(first, count)
+        parts = []
+        for page in range(first, first + count):
+            parts.append(p2.read(page).ljust(64, b"\x00"))
+        assert bulk == b"".join(parts)
+        assert (p1.hits, p1.misses) == (p2.hits, p2.misses), trial
+        assert list(p1._cache) == list(p2._cache), trial
+        assert d1.stats == d2.stats, trial
+
+
+def test_bulk_write_matches_per_page_writes_exactly():
+    import numpy as np
+
+    rng = np.random.default_rng(9)
+    for trial in range(15):
+        n_pages = int(rng.integers(1, 10))
+        data = bytes(
+            rng.integers(0, 256, size=int(rng.integers(1, n_pages * 64 + 1)), dtype=np.uint8)
+        )
+        used = max(1, -(-len(data) // 64))
+        d1, d2 = SimulatedDisk(page_size=64), SimulatedDisk(page_size=64)
+        d1.allocate(n_pages)
+        d2.allocate(n_pages)
+        p1, p2 = BufferPool(d1, 4), BufferPool(d2, 4)
+        p1.write_run_bytes(0, data, used)
+        for i in range(used):
+            p2.write(i, data[i * 64 : (i + 1) * 64])
+        assert d1.stats == d2.stats, trial
+        assert d1._pages == d2._pages, trial
+        assert list(p1._cache) == list(p2._cache), trial

@@ -140,3 +140,56 @@ def test_scan_with_page_unaligned_records():
     chunked = [block for _, block in raw.scan(chunk_series=7)]
     np.testing.assert_array_equal(np.concatenate(chunked), data)
     np.testing.assert_array_equal(raw.get_many(np.arange(25)), data)
+
+
+# --------------------------------------------- views and range scans
+def test_range_scan_matches_full_scan_slices():
+    import numpy as np
+
+    from repro.storage import SimulatedDisk
+
+    rng = np.random.default_rng(7)
+    disk = SimulatedDisk(page_size=1000)  # not a record multiple: padding
+    data = rng.standard_normal((137, 16)).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    whole = np.concatenate([b for _, b in raw.scan(chunk_series=20)])
+    np.testing.assert_array_equal(whole, data)
+    for start, stop in [(0, 137), (1, 136), (30, 31), (50, 137), (0, 1), (136, 137)]:
+        got_idx = []
+        parts = []
+        for first, block in raw.scan(chunk_series=17, start=start, stop=stop):
+            got_idx.append((first, len(block)))
+            parts.append(block)
+        ranged = np.concatenate(parts)
+        np.testing.assert_array_equal(ranged, data[start:stop])
+        assert got_idx[0][0] == start
+        assert sum(n for _, n in got_idx) == stop - start
+    assert list(raw.scan(start=5, stop=5)) == []
+    assert list(raw.scan(start=200)) == []
+
+
+def test_view_reads_through_device_and_leaves_parent_untouched():
+    import numpy as np
+
+    from repro.storage import ShardedDisk, SimulatedDisk
+    from repro.storage.bufferpool import BufferPool
+
+    rng = np.random.default_rng(11)
+    disk = SimulatedDisk(page_size=512)
+    data = rng.standard_normal((40, 24)).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    disk.reset_stats()
+    with ShardedDisk(disk, [(0, 0)], read_only=True) as (shard,):
+        with BufferPool(shard, capacity_pages=4) as pool:
+            view = raw.view(pool)
+            np.testing.assert_array_equal(
+                view.get_many(np.array([3, 17, 3, 29])),
+                data[[3, 17, 3, 29]],
+            )
+            got = np.concatenate([b for _, b in view.scan(start=10, stop=30)])
+            np.testing.assert_array_equal(got, data[10:30])
+            assert shard.stats.total_reads > 0
+    # Every read went through the shard: the parent saw none of it
+    # (the reconciled session stats land on the parent only at detach).
+    assert disk.stats.total_reads == shard.stats.total_reads
+    assert disk.stats.bytes_written == 0
