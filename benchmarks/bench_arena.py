@@ -1,0 +1,203 @@
+"""Arena page store vs. the dict-store oracle: zero-copy reads end to end.
+
+The PR 4 bytes-level streaming moved whole runs per call, but every
+byte still materialized through a per-page ``dict[int, bytes]``:
+``read_run_bytes`` paid a join-and-pad copy per run, fetches paid one
+per page, and shard detach re-inserted every page.  The arena store
+(:mod:`repro.storage.disk`, ``store="arena"``) keeps each allocation
+extent in one contiguous ``bytearray`` and serves reads as zero-copy
+read-only memoryviews, end to end through ``PagedFile.read_stream``,
+``BufferPool``, ``RawSeriesFile.scan``/``get_many`` and the merge
+cursors.  This benchmark measures the win and *asserts* the contract
+on every cell:
+
+* scanned/fetched/merged records bit-identical between the stores;
+* classified ``DiskStats``, access traces (``trace=True``) and head
+  positions bit-identical — for the serial paths and the sharded merge
+  cascade alike (the harness raises on any violation);
+* at the headline configuration (>= 50k series) the copy-bound
+  ``scan`` cell — the block-streaming fetch path the SIMS scans and
+  the parallel query workers ride — must be >= 1.5x faster on the
+  arena store, **on a host with >= 4 cores** (small/noisy CI boxes
+  stay ungated and report honest numbers).  The ``fetch`` and
+  ``merge`` cells are reported honestly without a gate: their wall
+  clock is dominated by per-record Python work that is identical on
+  both stores (and which the arena PR also cut — ``get_many`` now
+  parses one float view per page instead of one buffer per record);
+* the tracemalloc peak of the fetch sweep must not regress vs. the
+  dict store — the copy-count regression check: views allocate less
+  than join-and-pad, always.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_arena.py \
+        [--n N ...] [--records R ...] [--runs K ...] [--workers W ...] \
+        [--json PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tracemalloc
+
+from repro.bench import print_experiment
+from repro.bench.harness import PAGE_SIZE, run_arena_sweep
+
+#: Headline configuration the >= 1.5x gate applies to.
+GATE_SERIES = 50_000
+GATE_SPEEDUP = 1.5
+GATE_MIN_CORES = 4
+
+#: The copy-regression check tolerates this much bookkeeping slack.
+PEAK_SLACK = 1.10
+
+COLUMNS = [
+    "workload", "n_series", "records", "runs", "cores",
+    "dict_s", "arena_s", "speedup", "identical", "io_identical",
+]
+
+
+def fetch_peak_bytes(store: str, n_series: int, length: int,
+                     fetch_fraction: float, seed: int) -> int:
+    """tracemalloc peak of one scan + fetch pass (build untraced)."""
+    import numpy as np
+
+    from repro.storage import RawSeriesFile, SimulatedDisk
+
+    disk = SimulatedDisk(page_size=PAGE_SIZE, store=store)
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n_series, length)).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    idxs = np.sort(
+        rng.choice(
+            n_series, size=max(1, int(n_series * fetch_fraction)),
+            replace=False,
+        )
+    )
+    tracemalloc.start()
+    for _, block in raw.scan():
+        pass
+    raw.get_many(idxs)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def check(rows: list) -> None:
+    """Assert the equivalence contract and the headline speedup gate."""
+    for row in rows:
+        assert row["identical"], f"answer-equivalence violation: {row}"
+        assert row["io_identical"], f"I/O-trace violation: {row}"
+    cores = os.cpu_count() or 1
+    if cores < GATE_MIN_CORES:
+        return
+    gated = [
+        row
+        for row in rows
+        if row["workload"] == "scan" and row["n_series"] >= GATE_SERIES
+    ]
+    for row in gated:
+        assert row["speedup"] >= GATE_SPEEDUP, (
+            f"expected >= {GATE_SPEEDUP}x over the dict page store on the "
+            f"{row['workload']} cell at {row['n_series']} series on "
+            f"{cores} cores, got {row['speedup']:.2f}x"
+        )
+
+
+def check_copy_regression(n_series: int, length: int, fetch_fraction: float,
+                          seed: int) -> dict:
+    """The fetch sweep must not allocate more on the arena store."""
+    dict_peak = fetch_peak_bytes("dict", n_series, length, fetch_fraction, seed)
+    arena_peak = fetch_peak_bytes(
+        "arena", n_series, length, fetch_fraction, seed
+    )
+    assert arena_peak <= dict_peak * PEAK_SLACK, (
+        f"copy-count regression: arena fetch sweep peaked at "
+        f"{arena_peak} bytes vs {dict_peak} on the dict store"
+    )
+    return {
+        "n_series": n_series,
+        "dict_peak_bytes": dict_peak,
+        "arena_peak_bytes": arena_peak,
+        "peak_ratio": arena_peak / dict_peak if dict_peak else float("inf"),
+    }
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, nargs="+",
+                        default=[10_000, GATE_SERIES])
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument("--fetch-fraction", type=float, default=0.3)
+    parser.add_argument("--records", type=int, nargs="+", default=[200_000])
+    parser.add_argument("--runs", type=int, nargs="+", default=[8])
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", default="",
+        help="write rows as JSON to this path ('-' for stdout)",
+    )
+    args = parser.parse_args(argv[1:])
+    rows = run_arena_sweep(
+        args.n,
+        length=args.length,
+        fetch_fraction=args.fetch_fraction,
+        record_counts=args.records,
+        run_counts=args.runs,
+        workers_list=args.workers,
+        seed=args.seed,
+    )
+    print_experiment("arena vs dict page store", rows, columns=COLUMNS)
+    check(rows)
+    copy_check = check_copy_regression(
+        max(args.n), args.length, args.fetch_fraction, args.seed
+    )
+    print(
+        f"\nfetch-sweep tracemalloc peak: dict "
+        f"{copy_check['dict_peak_bytes']:,} B, arena "
+        f"{copy_check['arena_peak_bytes']:,} B "
+        f"(ratio {copy_check['peak_ratio']:.3f})"
+    )
+    if args.json:
+        payload = json.dumps(
+            {
+                "benchmark": "arena_page_store",
+                "config": {
+                    "n_series": args.n,
+                    "length": args.length,
+                    "fetch_fraction": args.fetch_fraction,
+                    "records": args.records,
+                    "runs": args.runs,
+                    "workers": args.workers,
+                    "seed": args.seed,
+                    "cores": os.cpu_count() or 1,
+                },
+                "rows": rows,
+                "copy_regression": copy_check,
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+def bench_arena(benchmark):
+    """pytest-benchmark entry point (tiny, correctness-focused)."""
+    rows = benchmark.pedantic(
+        run_arena_sweep,
+        args=([4_000],),
+        kwargs={"record_counts": [20_000], "run_counts": [8],
+                "workers_list": [1, 2]},
+        rounds=1,
+        iterations=1,
+    )
+    check(rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

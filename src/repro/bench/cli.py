@@ -15,6 +15,7 @@ Examples::
     python -m repro.bench parallel --index CTreeFull --workers 1 2 4
     python -m repro.bench merge --records 200000 --runs 32 --workers 2 4
     python -m repro.bench spilled --records 200000 --runs 8 --workers 4
+    python -m repro.bench arena --n 50000 --records 200000 --workers 1 2
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
 
@@ -36,6 +37,7 @@ import argparse
 from .harness import (
     MATERIALIZED_GROUP,
     SECONDARY_GROUP,
+    run_arena_sweep,
     run_batch_query_experiment,
     run_build_sweep,
     run_merge_engine_sweep,
@@ -158,6 +160,33 @@ def build_parser() -> argparse.ArgumentParser:
     spilled.add_argument("--dup-alphabet", type=int, default=0)
     spilled.add_argument("--seed", type=int, default=7)
 
+    arena = commands.add_parser(
+        "arena",
+        help="arena page store vs the dict-store oracle (zero-copy reads)",
+    )
+    arena.add_argument(
+        "--n", type=int, nargs="+", default=[60_000],
+        help="series counts for the scan/fetch cells",
+    )
+    arena.add_argument("--length", type=int, default=128)
+    arena.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the skip-sequential fetch visits",
+    )
+    arena.add_argument(
+        "--records", type=int, nargs="+", default=[200_000],
+        help="records per spilled-merge cell (empty budget forces a spill)",
+    )
+    arena.add_argument(
+        "--runs", type=int, nargs="+", default=[8],
+        help="presorted run counts for the merge cells",
+    )
+    arena.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2],
+        help="merge worker counts (>1 exercises shard arenas too)",
+    )
+    arena.add_argument("--seed", type=int, default=7)
+
     space = commands.add_parser("space", help="index size and fill factors")
     _add_dataset_arguments(space)
 
@@ -178,7 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--k only applies to the batched experiment; add --batch")
     if args.command == "query" and not args.batch and args.workers != 1:
         parser.error("--workers parallelizes the batched engine; add --batch")
-    spec = _spec(args) if args.command not in ("merge", "spilled") else None
+    spec = (
+        _spec(args)
+        if args.command not in ("merge", "spilled", "arena")
+        else None
+    )
     if args.command == "build":
         group = (
             SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
@@ -218,6 +251,24 @@ def main(argv: list[str] | None = None) -> int:
             payload_dims=args.payload_dims,
         )
         print_experiment("sharded spilled-run merging", rows)
+    elif args.command == "arena":
+        rows = run_arena_sweep(
+            args.n,
+            length=args.length,
+            fetch_fraction=args.fetch_fraction,
+            record_counts=args.records,
+            run_counts=args.runs,
+            workers_list=args.workers,
+            seed=args.seed,
+        )
+        print_experiment(
+            "arena vs dict page store",
+            rows,
+            columns=[
+                "workload", "n_series", "records", "runs", "cores",
+                "dict_s", "arena_s", "speedup", "identical", "io_identical",
+            ],
+        )
     elif args.command == "space":
         rows = run_build_sweep(
             MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25]

@@ -552,6 +552,196 @@ def _drive_spilled_merge(
     }
 
 
+def _drive_arena_fetch(
+    store: str, n_series: int, length: int, fetch_fraction: float, seed: int
+) -> dict:
+    """One timed scan + skip-sequential fetch pass on a fresh disk.
+
+    Returns everything the sweep needs to assert the cross-store
+    contract: the scanned and fetched records, the classified
+    counters, the access trace and the final head position.
+    """
+    import time
+
+    disk = SimulatedDisk(page_size=PAGE_SIZE, store=store, trace=True)
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n_series, length)).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    n_fetch = max(1, int(n_series * fetch_fraction))
+    idxs = np.sort(rng.choice(n_series, size=n_fetch, replace=False))
+    disk.reset_stats()
+    disk.park_head()
+    t0 = time.perf_counter()
+    blocks = [block for _, block in raw.scan()]
+    t1 = time.perf_counter()
+    fetched = raw.get_many(idxs)
+    t2 = time.perf_counter()
+    return {
+        "scanned": np.concatenate(blocks),
+        "fetched": fetched,
+        "scan_s": t1 - t0,
+        "fetch_s": t2 - t1,
+        "stats": disk.stats,
+        "trace": list(disk.trace),
+        "head": disk.head_position,
+    }
+
+
+def _drive_arena_merge(
+    store: str,
+    runs: list[tuple[np.ndarray, np.ndarray]],
+    memory_bytes: int,
+    merge_workers: int,
+) -> dict:
+    """One timed spilled sort_runs pass on a fresh disk of ``store``."""
+    import time
+
+    from ..storage.external_sort import ExternalSorter
+
+    disk = SimulatedDisk(page_size=PAGE_SIZE, store=store, trace=True)
+    sorter = ExternalSorter(disk, memory_bytes, merge_workers=merge_workers)
+    t0 = time.perf_counter()
+    parts = list(sorter.sort_runs(runs))
+    wall = time.perf_counter() - t0
+    return {
+        "keys": np.concatenate([k for k, _ in parts]),
+        "payloads": np.concatenate([p for _, p in parts]),
+        "shapes": [len(k) for k, _ in parts],
+        "stats": disk.stats,
+        "trace": list(disk.trace),
+        "report": sorter.report,
+        "wall_s": wall,
+    }
+
+
+def run_arena_sweep(
+    n_series_list: list[int],
+    length: int = 128,
+    fetch_fraction: float = 0.3,
+    record_counts: list[int] | None = None,
+    run_counts: list[int] | None = None,
+    workers_list: list[int] | None = None,
+    seed: int = 7,
+    memory_fraction: float = 1 / 8,
+    payload_dims: int = 16,
+) -> list[dict]:
+    """Arena page store vs. the dict-store oracle, per workload cell.
+
+    Every cell runs the same workload twice — once on the default
+    contiguous-arena store and once on the per-page dict store the
+    arena replaced — and *asserts* the tentpole contract before
+    reporting a speedup: answers (scanned/fetched/merged records),
+    classified :class:`DiskStats`, access traces and head positions
+    must be bit-identical; only the copy profile and the wall clock
+    may differ.
+
+    Cells:
+
+    * ``scan`` / ``fetch`` — a full :meth:`RawSeriesFile.scan` and a
+      skip-sequential :meth:`RawSeriesFile.get_many` over
+      ``fetch_fraction`` of the records (the SIMS exact-search fetch
+      pattern).  These are the copy-bound paths the arena exists for:
+      the dict store joins and pads every page on the way up, the
+      arena hands out zero-copy views.
+    * ``merge`` — a spilled ``sort_runs`` pass (``memory_fraction`` of
+      the data, so the cascade streams through :class:`RunCursor`
+      refills); ``workers_list`` entries > 1 additionally run the
+      sharded cascade, exercising shard arenas and the splice-based
+      detach on both stores.
+    """
+    import os
+
+    rows = []
+    cores = os.cpu_count() or 1
+    for n_series in n_series_list:
+        dict_run = _drive_arena_fetch(
+            "dict", n_series, length, fetch_fraction, seed
+        )
+        arena_run = _drive_arena_fetch(
+            "arena", n_series, length, fetch_fraction, seed
+        )
+        identical = bool(
+            np.array_equal(dict_run["scanned"], arena_run["scanned"])
+            and np.array_equal(dict_run["fetched"], arena_run["fetched"])
+        )
+        io_identical = (
+            dict_run["stats"] == arena_run["stats"]
+            and dict_run["trace"] == arena_run["trace"]
+            and dict_run["head"] == arena_run["head"]
+        )
+        if not identical or not io_identical:
+            raise AssertionError(
+                f"arena-store equivalence violation at {n_series} series: "
+                f"identical={identical}, io_identical={io_identical}"
+            )
+        for phase in ("scan", "fetch"):
+            rows.append(
+                {
+                    "workload": phase,
+                    "n_series": n_series,
+                    "length": length,
+                    "cores": cores,
+                    "dict_s": dict_run[f"{phase}_s"],
+                    "arena_s": arena_run[f"{phase}_s"],
+                    "speedup": (
+                        dict_run[f"{phase}_s"] / arena_run[f"{phase}_s"]
+                        if arena_run[f"{phase}_s"]
+                        else float("inf")
+                    ),
+                    "identical": identical,
+                    "io_identical": io_identical,
+                }
+            )
+    record_bytes = 8 + 4 * payload_dims
+    for n_records in record_counts or []:
+        for n_runs in run_counts or [8]:
+            runs = make_presorted_runs(
+                n_records, n_runs, seed=seed, payload_dims=payload_dims
+            )
+            memory = max(2048, int(n_records * record_bytes * memory_fraction))
+            for workers in workers_list or [1]:
+                dict_run = _drive_arena_merge("dict", runs, memory, workers)
+                arena_run = _drive_arena_merge("arena", runs, memory, workers)
+                identical = bool(
+                    np.array_equal(dict_run["keys"], arena_run["keys"])
+                    and np.array_equal(
+                        dict_run["payloads"], arena_run["payloads"]
+                    )
+                    and dict_run["shapes"] == arena_run["shapes"]
+                    and dict_run["report"] == arena_run["report"]
+                )
+                io_identical = (
+                    dict_run["stats"] == arena_run["stats"]
+                    and dict_run["trace"] == arena_run["trace"]
+                )
+                if not identical or not io_identical:
+                    raise AssertionError(
+                        f"arena-store merge equivalence violation at "
+                        f"{n_records} records / {n_runs} runs / {workers} "
+                        f"workers: identical={identical}, "
+                        f"io_identical={io_identical}"
+                    )
+                rows.append(
+                    {
+                        "workload": f"merge[{workers}w]",
+                        "records": n_records,
+                        "runs": n_runs,
+                        "cores": cores,
+                        "spilled": dict_run["report"].spilled,
+                        "dict_s": dict_run["wall_s"],
+                        "arena_s": arena_run["wall_s"],
+                        "speedup": (
+                            dict_run["wall_s"] / arena_run["wall_s"]
+                            if arena_run["wall_s"]
+                            else float("inf")
+                        ),
+                        "identical": identical,
+                        "io_identical": io_identical,
+                    }
+                )
+    return rows
+
+
 def run_batch_query_experiment(
     index_keys: list[str],
     spec: DatasetSpec,

@@ -177,12 +177,9 @@ class ISAXTree:
     def _read_leaf_records(self, leaf: _Leaf) -> np.ndarray:
         if leaf.on_disk == 0 or leaf.first_page < 0:
             return np.empty(0, dtype=self.record_dtype)
-        raw = b"".join(
-            self.disk.read_page(leaf.first_page + i).ljust(
-                self.disk.page_size, b"\x00"
-            )
-            for i in range(leaf.n_pages)
-        )
+        # One bulk run read (zero-copy on arena stores); counters are
+        # bit-identical to the per-page loop it replaces.
+        raw = self.disk.read_run_bytes(leaf.first_page, leaf.n_pages)
         return np.frombuffer(
             raw[: leaf.on_disk * self.record_dtype.itemsize],
             dtype=self.record_dtype,

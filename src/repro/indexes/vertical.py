@@ -95,12 +95,15 @@ class VerticalIndex(SeriesIndex):
         for i, position in enumerate(positions):
             start_byte = int(position) * row_bytes
             end_byte = start_byte + row_bytes
-            blob = b""
+            parts = []
             for page in range(start_byte // page_size, -(-end_byte // page_size)):
                 if page != last_page or page not in cache:
                     cache = {page: file.read(page)}
                     last_page = page
-                blob += cache[page].ljust(page_size, b"\x00")
+                parts.append(cache[page])
+            # Pages read full-size and zero-padded; a row inside one
+            # page parses straight from the device's view, no join.
+            blob = parts[0] if len(parts) == 1 else b"".join(parts)
             offset = start_byte - (start_byte // page_size) * page_size
             out[i] = np.frombuffer(blob[offset : offset + row_bytes], np.float32)
         return out

@@ -279,11 +279,7 @@ def parallel_batched_exact_knn(
             seeds[half:], workers, pool_kind, block_records,
         )
     seeds = seeds or [[] for _ in range(n_queries)]
-    heaps = [_BoundedMaxHeap(k) for _ in range(n_queries)]
-    for heap, pairs in zip(heaps, seeds):
-        for distance, identifier in pairs:
-            if identifier >= 0:
-                heap.offer(float(distance), int(identifier))
+    heaps = seeded_heaps(n_queries, k, seeds)
     if n == 0 or n_queries == 0:
         return [_outcome(heap, visited=0, n_records=n) for heap in heaps]
     query_paa = paa(queries, config.word_length)

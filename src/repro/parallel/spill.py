@@ -123,11 +123,12 @@ class _ExtentWriter:
             page, offset = divmod(self.pos, page_size)
             if self.fp <= page < self.ep:
                 # Interior pages always start aligned; hold bytes until
-                # a full page is ready, then write it through the shard.
+                # a full page is ready, then write it through the shard
+                # (the view splices straight into the shard arena).
                 if n - at < page_size:
                     break
                 self.device.write_page(
-                    self.base_page + page, bytes(view[at : at + page_size])
+                    self.base_page + page, view[at : at + page_size]
                 )
                 at += page_size
                 self.pos += page_size

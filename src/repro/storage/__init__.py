@@ -9,7 +9,7 @@ same cost model the paper uses.
 
 from .bufferpool import BufferPool
 from .cost import SSD_COST, UNIFORM_COST, CostModel, DiskStats
-from .disk import DiskShard, PageError, ShardedDisk, SimulatedDisk
+from .disk import PAGE_STORES, DiskShard, PageError, ShardedDisk, SimulatedDisk
 from .external_sort import ExternalSorter, SortReport, sort_to_arrays
 from .merge import (
     MERGE_ENGINES,
@@ -34,6 +34,7 @@ __all__ = [
     "ExternalSorter",
     "LoserTree",
     "MERGE_ENGINES",
+    "PAGE_STORES",
     "PageError",
     "PagedFile",
     "RawSeriesFile",

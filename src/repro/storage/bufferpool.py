@@ -55,7 +55,10 @@ class BufferPool:
             raise ValueError(f"capacity_pages must be >= 0, got {capacity_pages}")
         self.disk = disk
         self.capacity_pages = capacity_pages
-        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        # Full zero-padded pages; on arena devices these are zero-copy
+        # views of the device arena (admission and eviction move
+        # references, never payload bytes).
+        self._cache: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -111,8 +114,21 @@ class BufferPool:
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
-    def read(self, page_id: int) -> bytes:
-        """Read through the cache; a miss costs one disk read."""
+    def read(self, page_id: int):
+        """Read through the cache; a miss costs one disk read.
+
+        Returns a full zero-padded page, exactly as the device would:
+        on arena devices both the miss and every later hit serve the
+        same zero-copy view of the device arena — the cache holds
+        views, it never copies page payloads.
+
+        One caveat follows from holding views: a write that bypasses
+        the pool straight to the device shows through an arena cache
+        (the view is a window) but not through a dict-store cache (the
+        cached bytes are a snapshot).  The lifecycle already forbids
+        that pattern — a pool is its domain's only access path; use
+        :meth:`invalidate` if an out-of-band write is ever unavoidable.
+        """
         device = self._require_attached()
         if page_id in self._cache:
             self.hits += 1
@@ -126,17 +142,31 @@ class BufferPool:
     # PagedFile calls the device vocabulary; route it through the cache.
     read_page = read
 
-    def write(self, page_id: int, data: bytes) -> None:
-        """Write through to disk, updating the cached copy."""
-        self._require_attached().write_page(page_id, data)
-        self._admit(page_id, bytes(data))
+    def write(self, page_id: int, data) -> None:
+        """Write through to disk, updating the cached copy.
+
+        The admitted copy is the device's own page view when the
+        device exposes one (zero-copy, already padded), so a later hit
+        equals a later miss byte for byte.
+        """
+        device = self._require_attached()
+        device.write_page(page_id, data)
+        self._admit(page_id, self._device_page(device, page_id, data))
 
     write_page = write
+
+    @staticmethod
+    def _device_page(device, page_id: int, data):
+        """What a read of ``page_id`` would now return, without I/O."""
+        view = getattr(device, "page_view", None)
+        if view is not None:
+            return view(page_id)
+        return bytes(data).ljust(device.page_size, b"\x00")
 
     # ------------------------------------------------------------------
     # Bytes-level streaming (the PagedFile fast path, cache-aware)
     # ------------------------------------------------------------------
-    def read_run_bytes(self, first_page: int, n_pages: int) -> bytes:
+    def read_run_bytes(self, first_page: int, n_pages: int):
         """Bulk read through the cache, padded to whole pages.
 
         Hits and misses are counted page by page exactly as
@@ -144,12 +174,11 @@ class BufferPool:
         device in one bulk call (their classification equals the
         per-page sequence: first access against the head, the rest
         sequential), and admissions happen in ascending page order so
-        the LRU state matches the per-page path.  Pages admitted from a
-        bulk read are stored zero-padded to the page size; per-page
-        reads of a *short* tail page served from this cache therefore
-        return padded bytes — the streaming consumers (run cursors,
-        leaf readers) never look past the payload, and no caller mixes
-        the two access styles on the same page.
+        the LRU state matches the per-page path.  Nothing is copied on
+        the way through: a fully-missed run is passed upward exactly as
+        the device returned it (one view on arena devices), per-page
+        admissions are sub-views of that same buffer, and cache hits
+        contribute the cached full-page views directly.
         """
         if n_pages <= 0:
             return b""
@@ -157,14 +186,14 @@ class BufferPool:
         page_size = device.page_size
         bulk = getattr(device, "read_run_bytes", None)
         cache = self._cache
-        parts: list[bytes] = []
+        parts: list = []
         page = first_page
         end = first_page + n_pages
         while page < end:
             if page in cache:
                 self.hits += 1
                 cache.move_to_end(page)
-                parts.append(cache[page].ljust(page_size, b"\x00"))
+                parts.append(cache[page])
                 page += 1
                 continue
             stop = page + 1
@@ -173,6 +202,12 @@ class BufferPool:
             self.misses += stop - page
             if bulk is not None:
                 blob = bulk(page, stop - page)
+                # Native slicing admits the right thing for the blob's
+                # provenance: memoryview blobs (arena) slice into
+                # zero-copy sub-views of storage the device owns
+                # anyway; bytes blobs (joined temporaries) slice into
+                # per-page copies, so a cached page never pins the
+                # whole transient run buffer.
                 for i in range(stop - page):
                     self._admit(
                         page + i, blob[i * page_size : (i + 1) * page_size]
@@ -180,9 +215,11 @@ class BufferPool:
                 parts.append(blob)
             else:  # pragma: no cover - devices without the bulk interface
                 for p in range(page, stop):
-                    data = device.read_page(p)
+                    data = bytes(device.read_page(p)).ljust(
+                        page_size, b"\x00"
+                    )
                     self._admit(p, data)
-                    parts.append(data.ljust(page_size, b"\x00"))
+                    parts.append(data)
             page = stop
         return parts[0] if len(parts) == 1 else b"".join(parts)
 
@@ -199,16 +236,20 @@ class BufferPool:
             for i in range(n_pages):
                 self._admit(
                     first_page + i,
-                    bytes(view[i * page_size : (i + 1) * page_size]),
+                    self._device_page(
+                        device,
+                        first_page + i,
+                        view[i * page_size : (i + 1) * page_size],
+                    ),
                 )
         else:  # pragma: no cover - devices without the bulk interface
             for i in range(n_pages):
                 self.write(
                     first_page + i,
-                    bytes(view[i * page_size : (i + 1) * page_size]),
+                    view[i * page_size : (i + 1) * page_size],
                 )
 
-    def _admit(self, page_id: int, data: bytes) -> None:
+    def _admit(self, page_id: int, data) -> None:
         if self.capacity_pages == 0:
             return
         self._cache[page_id] = data

@@ -13,6 +13,53 @@ contiguity property the Coconut paper establishes.  Indexes built by
 top-down insertion allocate leaves at split time, scattering them across
 the address space, so their I/O is counted as random.
 
+Page stores
+-----------
+Two page stores implement the same contract:
+
+* ``store="arena"`` (the default) keeps pages in **contiguous arenas,
+  one per allocation extent**: every ``allocate`` call reserves one
+  fixed-size ``bytearray`` holding its pages back to back.  Reads
+  return zero-copy read-only ``memoryview`` slices of the arena —
+  :meth:`read_run_bytes` of a run inside one arena is a single slice,
+  no join, no copy — and :meth:`write_run_bytes` splices a whole run
+  with one buffer assignment.  Arenas are fixed-size, so views stay
+  valid for the life of the device (growing the address space adds new
+  arenas, it never reallocates old ones).
+* ``store="dict"`` is the per-page ``dict[int, bytes]`` store the
+  arena replaced, retained as the *copy-level oracle*: identical page
+  contents, counters, head movement and (optional) access traces for
+  every access sequence — only the allocation/copy profile differs.
+  ``benchmarks/bench_arena.py`` pins the equivalence per cell.
+
+Both stores share one read semantics: **a page read always returns
+exactly ``page_size`` bytes**.  Pages never written — and the tail of
+pages written short — read as zeros, on ``read_page`` and
+``read_run_bytes`` alike.  (The seed's dict store returned the raw
+short bytes from ``read_page`` and padded only in ``read_run_bytes``;
+consumers had to re-pad, and a never-written page read as ``b""``.)
+
+Zero-copy view lifetime
+-----------------------
+Views returned by an arena device alias live storage: they observe
+later writes to the same pages, and they pin the arena's memory while
+referenced.  The safe lifetime rules are documented in
+``docs/storage.md``; in short, a view taken from a :class:`DiskShard`
+must not outlive the shard's session, and a consumer that needs a
+stable private copy (e.g. to mutate) must copy explicitly — everything
+inside this package already does.
+
+Access traces
+-------------
+``trace=True`` records every classified access as ``(op, first_page,
+n_pages)`` tuples (``op`` is ``"r"`` or ``"w"``) in :attr:`trace`.
+Bulk accesses record one tuple — exactly the granularity the
+classification happens at — so two devices driven by the same plan
+produce bit-identical traces regardless of their page store.  Shards
+of a tracing parent trace privately; detach appends their traces to
+the parent in partition order, keeping the reconciled trace a pure
+function of the per-shard plans.
+
 Sharding
 --------
 A :class:`SimulatedDisk` is a single I/O domain: one head, one set of
@@ -28,6 +75,12 @@ session, which fences the parent device and hands each worker a
   isolation);
 * its own head position and its own :class:`DiskStats`.
 
+In arena mode the shard's private store is a **private arena covering
+its extent**, seeded with the parent's extent content at attach;
+detach reconciles by splicing whole arenas back into the parent in
+partition order — one buffer assignment per shard, never a per-page
+loop.
+
 Because classification depends only on a shard's *own* access sequence,
 the sequential/random split of a parallel run is independent of thread
 scheduling: executing the same per-shard plans inline, one shard after
@@ -41,27 +94,123 @@ as random no matter how the pool interleaved.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from .cost import CostModel, DiskStats
+
+#: Page store kinds accepted by :class:`SimulatedDisk`.
+PAGE_STORES = ("arena", "dict")
 
 
 class PageError(Exception):
     """Raised on invalid page accesses (unallocated page, oversized data)."""
 
 
+class _ExtentArenas:
+    """Contiguous page storage: one fixed-size ``bytearray`` per extent.
+
+    Arenas are appended in ascending page order (allocation is
+    monotonic) and never resized, so exported memoryviews stay valid
+    for the life of the container.  All views handed out are read-only;
+    mutation goes through :meth:`splice`.
+    """
+
+    __slots__ = ("page_size", "starts", "arenas")
+
+    def __init__(self, page_size: int):
+        self.page_size = page_size
+        self.starts: list[int] = []  # first page id of each arena
+        self.arenas: list[bytearray] = []
+
+    def add(self, first_page: int, n_pages: int) -> None:
+        """Back a freshly allocated extent with a zero-filled arena."""
+        self.starts.append(first_page)
+        self.arenas.append(bytearray(n_pages * self.page_size))
+
+    def _locate(self, page_id: int) -> int:
+        """Index of the arena containing ``page_id`` (must be backed)."""
+        return bisect_right(self.starts, page_id) - 1
+
+    def page(self, page_id: int) -> memoryview:
+        """Zero-copy read-only view of one full page."""
+        i = self._locate(page_id)
+        at = (page_id - self.starts[i]) * self.page_size
+        return memoryview(self.arenas[i]).toreadonly()[at : at + self.page_size]
+
+    def run_view(self, first_page: int, n_pages: int):
+        """A contiguous run as one zero-copy view when it fits one arena.
+
+        Runs spanning an arena boundary (physically adjacent pages from
+        separate ``allocate`` calls, e.g. an incrementally grown file)
+        fall back to a joined ``bytes`` copy — correctness first, the
+        zero-copy fast path where allocation made it possible.
+        """
+        ps = self.page_size
+        i = self._locate(first_page)
+        at = (first_page - self.starts[i]) * ps
+        want = n_pages * ps
+        arena = self.arenas[i]
+        if at + want <= len(arena):
+            return memoryview(arena).toreadonly()[at : at + want]
+        parts = []
+        while want > 0:
+            arena = self.arenas[i]
+            take = min(want, len(arena) - at)
+            parts.append(memoryview(arena)[at : at + take])
+            want -= take
+            at = 0
+            i += 1
+        return b"".join(parts)
+
+    def splice(self, first_page: int, data, n_bytes: int) -> None:
+        """Write ``data`` at ``first_page``, zero-filling up to ``n_bytes``.
+
+        One buffer assignment per arena touched (one, for runs inside a
+        single arena) — the write-side twin of :meth:`run_view`.
+        """
+        view = memoryview(data)
+        fill = len(view)
+        i = self._locate(first_page)
+        at = (first_page - self.starts[i]) * self.page_size
+        pos = 0
+        while pos < n_bytes:
+            # Assign through a memoryview of the arena: memoryview-to-
+            # memoryview slice assignment copies buffer to buffer with
+            # no intermediate bytes object (bytearray slice assignment
+            # from a view would materialize one).
+            arena = memoryview(self.arenas[i])
+            take = min(n_bytes - pos, len(arena) - at)
+            src_take = min(take, max(0, fill - pos))
+            if src_take:
+                arena[at : at + src_take] = view[pos : pos + src_take]
+            if src_take < take:
+                arena[at + src_take : at + take] = bytes(take - src_take)
+            pos += take
+            at = 0
+            i += 1
+
+    def copy_out(self, first_page: int, n_pages: int) -> bytearray:
+        """A private copy of a page range (shard-arena seeding)."""
+        run = self.run_view(first_page, n_pages)
+        return bytearray(run)
+
+
 class _PagedDevice:
     """Accounting and streaming helpers shared by disks and shards.
 
-    Subclasses provide ``page_size``, ``cost_model``, ``read_page`` and
-    ``write_page``; this base owns the head position (``None`` while
-    parked — the next access is always random) and the live counters.
+    Subclasses provide ``page_size``, ``cost_model``, ``read_page``,
+    ``write_page`` and ``read_run_bytes``; this base owns the head
+    position (``None`` while parked — the next access is always
+    random), the live counters and the optional access trace.
     """
 
     page_size: int
     cost_model: CostModel
 
-    def _init_accounting(self) -> None:
+    def _init_accounting(self, trace: bool = False) -> None:
         self._head: int | None = None
         self._stats = DiskStats()
+        self._trace: list[tuple[str, int, int]] | None = [] if trace else None
 
     # ------------------------------------------------------------------
     # Classification
@@ -73,6 +222,8 @@ class _PagedDevice:
             self._stats.random_reads += 1
         self._stats.bytes_read += self.page_size
         self._head = page_id
+        if self._trace is not None:
+            self._trace.append(("r", page_id, 1))
 
     def _count_write(self, page_id: int) -> None:
         if self._head is not None and page_id == self._head + 1:
@@ -81,6 +232,8 @@ class _PagedDevice:
             self._stats.random_writes += 1
         self._stats.bytes_written += self.page_size
         self._head = page_id
+        if self._trace is not None:
+            self._trace.append(("w", page_id, 1))
 
     # ------------------------------------------------------------------
     # Bulk classification (the bytes-level fast path)
@@ -100,6 +253,8 @@ class _PagedDevice:
             self._stats.sequential_reads += n_pages - 1
         self._stats.bytes_read += n_pages * self.page_size
         self._head = first_page + n_pages - 1
+        if self._trace is not None:
+            self._trace.append(("r", first_page, n_pages))
 
     def _count_write_run(self, first_page: int, n_pages: int) -> None:
         """Write-side twin of :meth:`_count_read_run`."""
@@ -110,18 +265,53 @@ class _PagedDevice:
             self._stats.sequential_writes += n_pages - 1
         self._stats.bytes_written += n_pages * self.page_size
         self._head = first_page + n_pages - 1
+        if self._trace is not None:
+            self._trace.append(("w", first_page, n_pages))
 
     # ------------------------------------------------------------------
     # Streaming convenience
     # ------------------------------------------------------------------
-    def read_run(self, first_page: int, n_pages: int) -> list[bytes]:
-        """Read ``n_pages`` consecutive pages (one seek, then streaming)."""
-        return [self.read_page(first_page + i) for i in range(n_pages)]
+    def read_run(self, first_page: int, n_pages: int) -> list:
+        """Read ``n_pages`` consecutive pages (one seek, then streaming).
 
-    def write_run(self, first_page: int, pages: list[bytes]) -> None:
+        Rides the bytes-level fast path: one :meth:`read_run_bytes`
+        call sliced at page boundaries, so the legacy list API gets the
+        arena's zero-copy reads (the slices are sub-views of the same
+        buffer) and the same bulk-classified counters.
+        """
+        if n_pages <= 0:
+            return []
+        blob = self.read_run_bytes(first_page, n_pages)
+        view = blob if isinstance(blob, memoryview) else memoryview(blob)
+        ps = self.page_size
+        return [view[i * ps : (i + 1) * ps] for i in range(n_pages)]
+
+    def write_run(self, first_page: int, pages: list) -> None:
         """Write consecutive pages (one seek, then streaming)."""
         for i, data in enumerate(pages):
             self.write_page(first_page + i, data)
+
+    def _check_run_payload(self, data, n_pages: int) -> None:
+        if len(data) > n_pages * self.page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds {n_pages} pages of "
+                f"{self.page_size} bytes"
+            )
+
+    def _store_run_pages(
+        self, pages: "dict[int, bytes]", first_page: int, data, n_pages: int
+    ) -> None:
+        """Dict-store bulk write: one short-sliced bytes object per page.
+
+        Shared by the disk and shard dict paths so their stored layout
+        (and with it the cross-store oracle) cannot drift apart.
+        """
+        view = memoryview(data)
+        page_size = self.page_size
+        for i in range(n_pages):
+            pages[first_page + i] = bytes(
+                view[i * page_size : (i + 1) * page_size]
+            )
 
     # ------------------------------------------------------------------
     # Accounting
@@ -130,6 +320,11 @@ class _PagedDevice:
     def stats(self) -> DiskStats:
         """Live counters (mutating object — use :meth:`snapshot` to diff)."""
         return self._stats
+
+    @property
+    def trace(self) -> "list[tuple[str, int, int]] | None":
+        """Recorded accesses (``None`` unless built with ``trace=True``)."""
+        return self._trace
 
     def snapshot(self) -> DiskStats:
         """An immutable copy of the current counters."""
@@ -145,6 +340,8 @@ class _PagedDevice:
 
     def reset_stats(self) -> None:
         self._stats = DiskStats()
+        if self._trace is not None:
+            self._trace = []
 
     @property
     def head_position(self) -> int | None:
@@ -172,17 +369,33 @@ class SimulatedDisk(_PagedDevice):
         fewer bytes than a page still transfers one page.
     cost_model:
         Converts access counts to simulated milliseconds.
+    store:
+        ``"arena"`` (default) for contiguous per-extent arenas with
+        zero-copy reads, ``"dict"`` for the per-page copy-level oracle.
+    trace:
+        Record every classified access in :attr:`trace`.
     """
 
-    def __init__(self, page_size: int = 8192, cost_model: CostModel | None = None):
+    def __init__(
+        self,
+        page_size: int = 8192,
+        cost_model: CostModel | None = None,
+        store: str = "arena",
+        trace: bool = False,
+    ):
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
+        if store not in PAGE_STORES:
+            raise ValueError(f"store must be one of {PAGE_STORES}, got {store!r}")
         self.page_size = page_size
         self.cost_model = cost_model or CostModel()
+        self.store = store
         self._pages: dict[int, bytes] = {}
+        self._arenas = _ExtentArenas(page_size)
+        self._written: set[int] = set()
         self._next_page = 0
         self._shard_session: "ShardedDisk | None" = None
-        self._init_accounting()
+        self._init_accounting(trace=trace)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -190,14 +403,18 @@ class SimulatedDisk(_PagedDevice):
     def allocate(self, n_pages: int = 1) -> int:
         """Reserve ``n_pages`` physically contiguous pages.
 
-        Returns the id of the first page.  Allocation itself performs no
-        I/O; pages contain empty bytes until written.
+        Returns the id of the first page.  Allocation itself performs
+        no I/O; pages read as zeros until written.  In arena mode each
+        allocation is backed by one contiguous arena, so runs inside it
+        stream as single zero-copy views.
         """
         if n_pages <= 0:
             raise ValueError(f"n_pages must be positive, got {n_pages}")
         self._check_unsharded("allocate")
         first = self._next_page
         self._next_page += n_pages
+        if self.store == "arena":
+            self._arenas.add(first, n_pages)
         return first
 
     @property
@@ -206,6 +423,8 @@ class SimulatedDisk(_PagedDevice):
 
     @property
     def pages_written(self) -> int:
+        if self.store == "arena":
+            return len(self._written)
         return len(self._pages)
 
     @property
@@ -216,8 +435,12 @@ class SimulatedDisk(_PagedDevice):
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
-    def write_page(self, page_id: int, data: bytes) -> None:
-        """Write one page, classifying the access by head position."""
+    def write_page(self, page_id: int, data) -> None:
+        """Write one page, classifying the access by head position.
+
+        ``data`` (bytes or any buffer) may be shorter than a page; the
+        tail reads back as zeros either way.
+        """
         self._check_unsharded("write_page")
         self._check_page(page_id)
         if len(data) > self.page_size:
@@ -225,27 +448,41 @@ class SimulatedDisk(_PagedDevice):
                 f"data of {len(data)} bytes exceeds page size {self.page_size}"
             )
         self._count_write(page_id)
-        self._pages[page_id] = bytes(data)
+        if self.store == "arena":
+            self._arenas.splice(page_id, data, self.page_size)
+            self._written.add(page_id)
+        else:
+            self._pages[page_id] = bytes(data)
 
-    def read_page(self, page_id: int) -> bytes:
-        """Read one page, classifying the access by head position."""
+    def read_page(self, page_id: int):
+        """Read one full page, classifying the access by head position.
+
+        Always returns exactly ``page_size`` bytes; never-written pages
+        (and the tail of short writes) read as zeros.  Arena stores
+        return a zero-copy read-only ``memoryview``.
+        """
         self._check_unsharded("read_page")
         self._check_page(page_id)
         self._count_read(page_id)
-        return self._pages.get(page_id, b"")
+        if self.store == "arena":
+            return self._arenas.page(page_id)
+        return self._pages.get(page_id, b"").ljust(self.page_size, b"\x00")
 
     # ------------------------------------------------------------------
     # Bytes-level streaming (whole-run I/O without per-page dispatch)
     # ------------------------------------------------------------------
-    def read_run_bytes(self, first_page: int, n_pages: int) -> bytes:
+    def read_run_bytes(self, first_page: int, n_pages: int):
         """Read a physically contiguous run as one padded byte stream.
 
         Returns exactly ``n_pages * page_size`` bytes (short pages are
         zero-padded).  Classification, counters and the final head
         position are bit-identical to ``n_pages`` :meth:`read_page`
-        calls — the accounting happens in one bulk step, which is what
-        makes :meth:`repro.storage.pager.PagedFile.read_stream` cheap
-        enough to scale across threads.
+        calls — the accounting happens in one bulk step.  Arena stores
+        return a zero-copy read-only ``memoryview`` when the run lies
+        within one allocation extent — the common case for bulk-built
+        files — which is what lets :meth:`repro.storage.pager.
+        PagedFile.read_stream` hand whole extents upward without a
+        single copy.
         """
         if n_pages <= 0:
             return b""
@@ -253,6 +490,8 @@ class SimulatedDisk(_PagedDevice):
         self._check_page(first_page)
         self._check_page(first_page + n_pages - 1)
         self._count_read_run(first_page, n_pages)
+        if self.store == "arena":
+            return self._arenas.run_view(first_page, n_pages)
         pages, page_size = self._pages, self.page_size
         return b"".join(
             pages.get(p, b"").ljust(page_size, b"\x00")
@@ -262,29 +501,48 @@ class SimulatedDisk(_PagedDevice):
     def write_run_bytes(self, first_page: int, data, n_pages: int) -> None:
         """Write one byte stream across a physically contiguous run.
 
-        ``data`` (bytes or memoryview) is split at page boundaries; the
-        final page may be short and is stored short, exactly as the
-        per-page path stores it.  Accounting is bit-identical to
-        ``n_pages`` :meth:`write_page` calls.
+        ``data`` (bytes or memoryview) is laid out back to back; bytes
+        past ``len(data)`` up to the run's end read as zeros, exactly
+        as the per-page path behaves.  Accounting is bit-identical to
+        ``n_pages`` :meth:`write_page` calls.  Arena stores splice the
+        whole run with one buffer assignment.
         """
         if n_pages <= 0:
             return
         self._check_unsharded("write_page")
         self._check_page(first_page)
         self._check_page(first_page + n_pages - 1)
-        page_size = self.page_size
-        if len(data) > n_pages * page_size:
-            raise PageError(
-                f"data of {len(data)} bytes exceeds {n_pages} pages of "
-                f"{page_size} bytes"
-            )
+        self._check_run_payload(data, n_pages)
         self._count_write_run(first_page, n_pages)
-        view = memoryview(data)
-        pages = self._pages
-        for i in range(n_pages):
-            pages[first_page + i] = bytes(
-                view[i * page_size : (i + 1) * page_size]
-            )
+        if self.store == "arena":
+            self._arenas.splice(first_page, data, n_pages * self.page_size)
+            self._written.update(range(first_page, first_page + n_pages))
+            return
+        self._store_run_pages(self._pages, first_page, data, n_pages)
+
+    # ------------------------------------------------------------------
+    # Diagnostics (no I/O accounting)
+    # ------------------------------------------------------------------
+    def page_view(self, page_id: int):
+        """A full zero-padded page without touching head or counters.
+
+        Zero-copy in arena mode; used by :class:`repro.storage.
+        bufferpool.BufferPool` to admit views instead of copies, and by
+        the equivalence suites to compare stores.
+        """
+        self._check_page(page_id)
+        if self.store == "arena":
+            return self._arenas.page(page_id)
+        return self._pages.get(page_id, b"").ljust(self.page_size, b"\x00")
+
+    def dump_pages(self) -> "dict[int, bytes]":
+        """Written pages as ``{page_id: padded bytes}`` (diagnostics).
+
+        Comparable across stores: the same op sequence on an arena and
+        a dict device dumps identically.
+        """
+        written = self._written if self.store == "arena" else self._pages
+        return {p: bytes(self.page_view(p)) for p in sorted(written)}
 
     def _check_page(self, page_id: int) -> None:
         if not 0 <= page_id < self._next_page:
@@ -301,21 +559,26 @@ class SimulatedDisk(_PagedDevice):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"SimulatedDisk(page_size={self.page_size}, "
-            f"allocated={self._next_page}, written={len(self._pages)})"
+            f"SimulatedDisk(page_size={self.page_size}, store={self.store!r}, "
+            f"allocated={self._next_page}, written={self.pages_written})"
         )
 
 
 class DiskShard(_PagedDevice):
     """A private I/O domain over a reserved extent of a parent disk.
 
-    Writes land in a shard-local page store restricted to the shard's
-    writable extent; reads prefer the local store and fall back to the
+    Writes land in a shard-private store restricted to the shard's
+    writable extent; reads prefer the private store and fall back to the
     parent's pages as they stood when the session attached (snapshot
     isolation — a sibling shard's concurrent writes are invisible).
     Head position and :class:`DiskStats` are private, so every access
     classification depends only on this shard's own sequence, never on
     how a pool interleaves shards.
+
+    In arena mode the private store is one contiguous arena covering
+    the extent, seeded with the parent's extent content at attach, so
+    extent reads are zero-copy views and detach splices the whole arena
+    back in one buffer assignment.
 
     Shards are created by :class:`ShardedDisk`, not directly.
     """
@@ -331,6 +594,7 @@ class DiskShard(_PagedDevice):
         self.parent = parent
         self.page_size = parent.page_size
         self.cost_model = parent.cost_model
+        self.store = parent.store
         self.first_page = first_page
         self.extent_pages = n_pages
         self.shard_id = shard_id
@@ -338,8 +602,23 @@ class DiskShard(_PagedDevice):
         self._readable_below = parent.pages_allocated
         self._next_page = first_page
         self._pages: dict[int, bytes] = {}
+        self._written: set[int] = set()
+        # The private store is a single-extent _ExtentArenas covering
+        # the writable range — the same arena mechanics as the parent,
+        # in one place.  Seeded with the parent's extent content so
+        # unwritten pages read (and reconcile) as the snapshot held.
+        self._arenas = _ExtentArenas(self.page_size)
+        if self.store == "arena" and n_pages:
+            self._arenas.starts.append(first_page)
+            if parent._written.isdisjoint(range(first_page, first_page + n_pages)):
+                # Nothing written in the extent yet: zeros, no copy.
+                self._arenas.arenas.append(bytearray(n_pages * self.page_size))
+            else:
+                self._arenas.arenas.append(
+                    parent._arenas.copy_out(first_page, n_pages)
+                )
         self._attached = True
-        self._init_accounting()
+        self._init_accounting(trace=parent._trace is not None)
 
     # ------------------------------------------------------------------
     @property
@@ -352,6 +631,8 @@ class DiskShard(_PagedDevice):
 
     @property
     def pages_written(self) -> int:
+        if self.store == "arena":
+            return len(self._written)
         return len(self._pages)
 
     def allocate(self, n_pages: int = 1) -> int:
@@ -368,10 +649,13 @@ class DiskShard(_PagedDevice):
         return first
 
     # ------------------------------------------------------------------
-    def write_page(self, page_id: int, data: bytes) -> None:
+    def _in_extent(self, page_id: int) -> bool:
+        return self.first_page <= page_id < self.first_page + self.extent_pages
+
+    def write_page(self, page_id: int, data) -> None:
         """Write within the shard's extent, classified by its own head."""
         self._check_attached()
-        if not self.first_page <= page_id < self.first_page + self.extent_pages:
+        if not self._in_extent(page_id):
             raise PageError(
                 f"{self.name}: page {page_id} outside writable extent "
                 f"[{self.first_page}, {self.first_page + self.extent_pages})"
@@ -381,28 +665,46 @@ class DiskShard(_PagedDevice):
                 f"data of {len(data)} bytes exceeds page size {self.page_size}"
             )
         self._count_write(page_id)
-        self._pages[page_id] = bytes(data)
+        if self.store == "arena":
+            self._arenas.splice(page_id, data, self.page_size)
+            self._written.add(page_id)
+        else:
+            self._pages[page_id] = bytes(data)
 
-    def read_page(self, page_id: int) -> bytes:
-        """Read own pages, or any pre-session parent page (read-only)."""
+    def read_page(self, page_id: int):
+        """Read own pages, or any pre-session parent page (read-only).
+
+        Same padded-page contract as :meth:`SimulatedDisk.read_page`.
+        """
         self._check_attached()
+        if self.store == "arena":
+            in_extent = self._in_extent(page_id)
+            if not in_extent and not 0 <= page_id < self._readable_below:
+                raise PageError(
+                    f"{self.name}: page {page_id} is neither in the shard's "
+                    f"extent nor readable from the parent snapshot "
+                    f"(< {self._readable_below})"
+                )
+            self._count_read(page_id)
+            if in_extent:
+                return self._arenas.page(page_id)
+            # Parent pages are immutable while the session is attached
+            # (the parent is fenced and sibling writes stay shard-local),
+            # so this lookup is safe from any thread.
+            return self.parent._arenas.page(page_id)
         if page_id in self._pages:
             self._count_read(page_id)
-            return self._pages[page_id]
-        in_extent = (
-            self.first_page <= page_id < self.first_page + self.extent_pages
-        )
-        if not in_extent and not 0 <= page_id < self._readable_below:
+            return self._pages[page_id].ljust(self.page_size, b"\x00")
+        if not self._in_extent(page_id) and not 0 <= page_id < self._readable_below:
             raise PageError(
                 f"{self.name}: page {page_id} is neither in the shard's "
                 f"extent nor readable from the parent snapshot "
                 f"(< {self._readable_below})"
             )
         self._count_read(page_id)
-        # Parent pages are immutable while the session is attached (the
-        # parent is fenced and sibling writes stay shard-local), so this
-        # lookup is safe from any thread.
-        return self.parent._pages.get(page_id, b"")
+        return self.parent._pages.get(page_id, b"").ljust(
+            self.page_size, b"\x00"
+        )
 
     # ------------------------------------------------------------------
     # Bytes-level streaming (see SimulatedDisk for the contract)
@@ -410,21 +712,41 @@ class DiskShard(_PagedDevice):
     def _readable(self, page_id: int) -> bool:
         if page_id in self._pages:
             return True
-        in_extent = (
-            self.first_page <= page_id < self.first_page + self.extent_pages
-        )
-        return in_extent or 0 <= page_id < self._readable_below
+        return self._in_extent(page_id) or 0 <= page_id < self._readable_below
 
-    def read_run_bytes(self, first_page: int, n_pages: int) -> bytes:
+    def _check_run_readable(self, first_page: int, n_pages: int) -> None:
+        """Range check against the snapshot watermark.
+
+        The writable extent is always allocated before the session
+        attaches, so the readable set — ``[0, readable_below)`` plus
+        the extent — collapses to ``[0, readable_below)``: a run is
+        readable iff it stays below the watermark.
+        """
+        last = first_page + n_pages - 1
+        if first_page < 0 or last >= self._readable_below:
+            bad = first_page if first_page < 0 else last
+            raise PageError(
+                f"{self.name}: page {bad} is neither in the shard's "
+                f"extent nor readable from the parent snapshot "
+                f"(< {self._readable_below})"
+            )
+
+    def read_run_bytes(self, first_page: int, n_pages: int):
         """Bulk read of a contiguous run, padded to whole pages.
 
-        Local shard pages take precedence over the parent snapshot page
-        by page, and every counter matches ``n_pages`` single-page
-        reads exactly.
+        Shard-private extent pages take precedence over the parent
+        snapshot, and every counter matches ``n_pages`` single-page
+        reads exactly.  Arena mode returns a single zero-copy view when
+        the run lies entirely inside the extent arena or entirely
+        inside one parent arena.
         """
         if n_pages <= 0:
             return b""
         self._check_attached()
+        if self.store == "arena":
+            self._check_run_readable(first_page, n_pages)
+            self._count_read_run(first_page, n_pages)
+            return self._run_parts(first_page, n_pages)
         for page_id in range(first_page, first_page + n_pages):
             if not self._readable(page_id):
                 raise PageError(
@@ -441,6 +763,28 @@ class DiskShard(_PagedDevice):
             for p in range(first_page, first_page + n_pages)
         )
 
+    def _run_parts(self, first_page: int, n_pages: int):
+        """Compose a run from the extent arena and the parent snapshot.
+
+        The extent is one contiguous range, so a run splits into at
+        most three segments: before, inside, after.  Single-segment
+        runs return one zero-copy view.
+        """
+        end = first_page + n_pages
+        lo, hi = self.first_page, self.first_page + self.extent_pages
+        mid_lo, mid_hi = max(first_page, lo), min(end, hi)
+        if mid_lo >= mid_hi:  # entirely outside the extent
+            return self.parent._arenas.run_view(first_page, n_pages)
+        if first_page >= lo and end <= hi:  # entirely inside
+            return self._arenas.run_view(first_page, n_pages)
+        parts = []
+        if first_page < mid_lo:
+            parts.append(self.parent._arenas.run_view(first_page, mid_lo - first_page))
+        parts.append(self._arenas.run_view(mid_lo, mid_hi - mid_lo))
+        if mid_hi < end:
+            parts.append(self.parent._arenas.run_view(mid_hi, end - mid_hi))
+        return b"".join(parts)
+
     def write_run_bytes(self, first_page: int, data, n_pages: int) -> None:
         """Bulk write within the shard's extent (see SimulatedDisk)."""
         if n_pages <= 0:
@@ -456,19 +800,26 @@ class DiskShard(_PagedDevice):
                 f"extent [{self.first_page}, "
                 f"{self.first_page + self.extent_pages})"
             )
-        page_size = self.page_size
-        if len(data) > n_pages * page_size:
-            raise PageError(
-                f"data of {len(data)} bytes exceeds {n_pages} pages of "
-                f"{page_size} bytes"
-            )
+        self._check_run_payload(data, n_pages)
         self._count_write_run(first_page, n_pages)
-        view = memoryview(data)
-        pages = self._pages
-        for i in range(n_pages):
-            pages[first_page + i] = bytes(
-                view[i * page_size : (i + 1) * page_size]
-            )
+        if self.store == "arena":
+            self._arenas.splice(first_page, data, n_pages * self.page_size)
+            self._written.update(range(first_page, first_page + n_pages))
+            return
+        self._store_run_pages(self._pages, first_page, data, n_pages)
+
+    # ------------------------------------------------------------------
+    def page_view(self, page_id: int):
+        """Diagnostic full-page view (no accounting); see SimulatedDisk."""
+        if self.store == "arena":
+            if self._in_extent(page_id):
+                return self._arenas.page(page_id)
+            return self.parent.page_view(page_id)
+        if page_id in self._pages:
+            return self._pages[page_id].ljust(self.page_size, b"\x00")
+        return self.parent._pages.get(page_id, b"").ljust(
+            self.page_size, b"\x00"
+        )
 
     def _check_attached(self) -> None:
         if not self._attached:
@@ -478,7 +829,7 @@ class DiskShard(_PagedDevice):
         return (
             f"DiskShard({self.name!r}, extent=[{self.first_page}, "
             f"{self.first_page + self.extent_pages}), "
-            f"written={len(self._pages)}, attached={self._attached})"
+            f"written={self.pages_written}, attached={self._attached})"
         )
 
 
@@ -503,10 +854,12 @@ class ShardedDisk:
             ...  # hand one shard to each worker
 
     Detach reconciles deterministically in partition order: shard pages
-    merge into the parent store and shard stats add onto the parent
-    counters shard by shard, then the parent head is parked.  The
-    reconciled totals are therefore identical for any pool kind or
-    worker count that executes the same per-shard plans.
+    merge into the parent store (arena mode splices each shard's whole
+    extent arena in one buffer assignment — never page by page) and
+    shard stats add onto the parent counters shard by shard, then the
+    parent head is parked.  The reconciled totals are therefore
+    identical for any pool kind or worker count that executes the same
+    per-shard plans.
     """
 
     def __init__(
@@ -569,14 +922,28 @@ class ShardedDisk:
         Idempotent.  Reconciliation walks the shards in partition order
         (shard 0 first), merging pages and adding stats, then parks the
         parent head — so the session's effect on the parent is a pure,
-        deterministic function of the per-shard plans.
+        deterministic function of the per-shard plans.  An arena-store
+        shard reconciles by splicing its whole extent arena into the
+        parent arena — one buffer assignment, no per-page loop.
         """
         if not self._attached:
             return DiskStats()
         merged = DiskStats()
+        arena = self.disk.store == "arena"
         for shard in self.shards:
-            self.disk._pages.update(shard._pages)
+            if arena:
+                if shard.extent_pages:
+                    self.disk._arenas.splice(
+                        shard.first_page,
+                        shard._arenas.arenas[0],
+                        shard.extent_pages * self.disk.page_size,
+                    )
+                    self.disk._written.update(shard._written)
+            else:
+                self.disk._pages.update(shard._pages)
             merged = merged + shard._stats
+            if self.disk._trace is not None and shard._trace:
+                self.disk._trace.extend(shard._trace)
             shard._attached = False
         self.disk._stats = self.disk._stats + merged
         if self.disk._shard_session is self:

@@ -154,8 +154,16 @@ class RunCursor:
         n_pages = max(0, -(-need_bytes // page_size))
         n_pages = min(n_pages, self.file.n_pages - self._next_page)
         if n_pages > 0:
-            data = self._remainder + self.file.read_stream(self._next_page, n_pages)
+            fresh = self.file.read_stream(self._next_page, n_pages)
             self._next_page += n_pages
+            # Remainder bytes only exist when records straddle the read
+            # boundary; a record-aligned stream (the common geometry)
+            # consumes the device's zero-copy view directly.
+            data = (
+                b"".join((self._remainder, fresh))
+                if len(self._remainder)
+                else fresh
+            )
         else:
             data = self._remainder
         if self._skip_bytes:

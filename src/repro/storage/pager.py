@@ -200,13 +200,16 @@ class PagedFile:
             at += take
         return n_pages
 
-    def read_stream(self, first_page: int, n_pages: int) -> bytes:
+    def read_stream(self, first_page: int, n_pages: int):
         """Read consecutive logical pages as one byte stream.
 
         Short pages are zero-padded, so the result is always exactly
         ``n_pages * page_size`` bytes.  Whole extents stream through
-        the device's ``read_run_bytes`` when available — same bytes,
-        same classified counters as reading page by page.
+        the device's ``read_run_bytes`` — same bytes, same classified
+        counters as reading page by page — and a range inside a single
+        physical run is handed upward exactly as the device returned
+        it: on arena devices that is one zero-copy ``memoryview``, end
+        to end from the page store to the consumer.
         """
         if first_page < 0 or first_page + n_pages > self._n_pages:
             raise PageError(
@@ -215,11 +218,9 @@ class PagedFile:
             )
         reader = getattr(self.disk, "read_run_bytes", None)
         if reader is None:  # pragma: no cover - non-bulk devices
-            parts = [
-                self.read(i) for i in range(first_page, first_page + n_pages)
-            ]
             return b"".join(
-                part.ljust(self.disk.page_size, b"\x00") for part in parts
+                bytes(self.read(i)).ljust(self.disk.page_size, b"\x00")
+                for i in range(first_page, first_page + n_pages)
             )
         parts = [
             reader(first_physical, run_pages)

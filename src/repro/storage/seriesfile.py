@@ -83,8 +83,13 @@ class RawSeriesFile:
             if start % spp:
                 page = start // spp
                 in_page = start % spp
-                existing = np.frombuffer(self.file.read(page), dtype=np.float32)
-                existing = existing[: in_page * self.length]
+                # count= bounds the parse to the resident records: the
+                # padded page may not be a float32 multiple in length.
+                existing = np.frombuffer(
+                    self.file.read(page),
+                    dtype=np.float32,
+                    count=in_page * self.length,
+                )
                 take = min(spp - in_page, len(data))
                 merged = np.concatenate([existing, data[:take].ravel()])
                 self.file.write(page, merged.astype(np.float32).tobytes())
@@ -160,7 +165,9 @@ class RawSeriesFile:
         if reader is None:  # pragma: no cover - non-bulk devices
             page_size = self.disk.page_size
             return b"".join(
-                self._read_logical(first_page + i).ljust(page_size, b"\x00")
+                bytes(self._read_logical(first_page + i)).ljust(
+                    page_size, b"\x00"
+                )
                 for i in range(n_pages)
             )
         parts = [
@@ -188,8 +195,7 @@ class RawSeriesFile:
             ).copy()
         first = self._page_of(idx)
         blob = b"".join(
-            self._read_logical(first + j).ljust(self.disk.page_size, b"\x00")
-            for j in range(self.pages_per_series)
+            self._read_logical(first + j) for j in range(self.pages_per_series)
         )
         return np.frombuffer(blob[: self.record_bytes], dtype=np.float32).copy()
 
@@ -204,19 +210,23 @@ class RawSeriesFile:
         order = np.argsort(idxs, kind="stable")
         out = np.empty((len(idxs), self.length), dtype=np.float32)
         last_page = -1
-        page_data = b""
+        page_floats = np.empty(0, dtype=np.float32)
         for pos in order:
             idx = int(idxs[pos])
             if self.pages_per_series == 1:
                 page = self._page_of(idx)
                 if page != last_page:
+                    # One float view per page (zero-copy over the
+                    # device's page view); records inside it are plain
+                    # array slices.
                     page_data = self._read_logical(page)
+                    usable = (len(page_data) // 4) * 4
+                    page_floats = np.frombuffer(
+                        page_data[:usable], dtype=np.float32
+                    )
                     last_page = page
-                offset = (idx % self.series_per_page) * self.record_bytes
-                out[pos] = np.frombuffer(
-                    page_data[offset : offset + self.record_bytes],
-                    dtype=np.float32,
-                )
+                offset = (idx % self.series_per_page) * self.length
+                out[pos] = page_floats[offset : offset + self.length]
             else:
                 out[pos] = self.get(idx)
         return out

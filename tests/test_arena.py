@@ -1,0 +1,249 @@
+"""Arena page store: zero-copy invariants and the dict-store oracle.
+
+The arena store keeps one contiguous ``bytearray`` per allocation
+extent and serves reads as read-only memoryview slices; the dict store
+is the per-page copy-level oracle it replaced.  These tests pin
+
+* the hardened read semantics (never-written pages read as a full zero
+  page, on ``read_page`` and ``read_run_bytes`` alike, on both stores);
+* the zero-copy invariants (views alias the arena; scan blocks share
+  arena memory; the buffer pool caches views; shard detach splices
+  whole arenas instead of looping pages);
+* the cross-store equivalence oracle: the same op sequence produces
+  identical contents, counters, head movement and access traces.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    PAGE_STORES,
+    BufferPool,
+    ExternalSorter,
+    PagedFile,
+    RawSeriesFile,
+    ShardedDisk,
+    SimulatedDisk,
+)
+
+
+# ------------------------------------------------- hardened semantics
+@pytest.mark.parametrize("store", PAGE_STORES)
+def test_unwritten_pages_read_zero_filled_on_both_apis(store):
+    disk = SimulatedDisk(page_size=32, store=store)
+    disk.allocate(3)
+    disk.write_page(1, b"abc")
+    assert len(disk.read_page(0)) == 32
+    assert bytes(disk.read_page(0)) == bytes(32)
+    assert bytes(disk.read_page(1)) == b"abc".ljust(32, b"\x00")
+    assert bytes(disk.read_run_bytes(0, 3)) == (
+        bytes(32) + b"abc".ljust(32, b"\x00") + bytes(32)
+    )
+    # A shorter overwrite zeroes the replaced tail.
+    disk.write_page(1, b"xy")
+    assert bytes(disk.read_page(1)) == b"xy".ljust(32, b"\x00")
+    # A short bulk write zeroes the rest of the run.
+    disk.write_run_bytes(0, b"Q" * 40, 2)
+    assert bytes(disk.read_run_bytes(0, 2)) == (b"Q" * 40).ljust(64, b"\x00")
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+def test_shard_reads_are_zero_filled_full_pages(store):
+    disk = SimulatedDisk(page_size=32, store=store)
+    disk.allocate(2)
+    disk.write_page(0, b"parent")
+    extent = disk.allocate(2)
+    with ShardedDisk(disk, [(extent, 2)]) as (shard,):
+        assert bytes(shard.read_page(0)) == b"parent".ljust(32, b"\x00")
+        assert bytes(shard.read_page(1)) == bytes(32)  # never written
+        assert bytes(shard.read_page(extent)) == bytes(32)  # own, unwritten
+        shard.write_page(extent, b"mine")
+        assert bytes(shard.read_page(extent)) == b"mine".ljust(32, b"\x00")
+        assert bytes(shard.read_run_bytes(0, 2)) == (
+            b"parent".ljust(32, b"\x00") + bytes(32)
+        )
+
+
+# ------------------------------------------------- zero-copy invariants
+def test_read_apis_alias_the_arena():
+    disk = SimulatedDisk(page_size=64)
+    first = disk.allocate(8)
+    payload = bytes(range(256)) * 2
+    disk.write_run_bytes(first, payload, 8)
+    arena = disk._arenas.arenas[0]
+    view = disk.read_run_bytes(first, 8)
+    assert isinstance(view, memoryview) and view.readonly
+    assert view.obj is arena  # zero-copy: a slice of the arena itself
+    assert bytes(view) == payload.ljust(8 * 64, b"\x00")
+    page = disk.read_page(first + 3)
+    assert isinstance(page, memoryview) and page.obj is arena
+    # The legacy list API rides the same single bulk read.
+    disk.park_head()
+    disk.reset_stats()
+    pages = disk.read_run(first, 4)
+    assert disk.stats.random_reads == 1 and disk.stats.sequential_reads == 3
+    assert all(isinstance(p, memoryview) and p.obj is arena for p in pages)
+    assert b"".join(bytes(p) for p in pages) == bytes(
+        disk.read_run_bytes(first, 4)
+    )
+
+
+def test_paged_file_stream_is_zero_copy_within_one_extent():
+    disk = SimulatedDisk(page_size=128)
+    file = PagedFile(disk, n_pages=16)
+    file.write_stream(bytes(range(256)) * 7)
+    blob = file.read_stream(2, 10)
+    assert isinstance(blob, memoryview)
+    assert blob.obj is disk._arenas.arenas[0]
+
+
+def test_scan_blocks_share_arena_memory():
+    rng = np.random.default_rng(3)
+    disk = SimulatedDisk(page_size=512)
+    data = rng.standard_normal((64, 32)).astype(np.float32)  # 128 B records
+    raw = RawSeriesFile.create(disk, data)
+    assert raw.series_per_page * raw.record_bytes == disk.page_size
+    arena = np.frombuffer(disk._arenas.arenas[0], dtype=np.uint8)
+    blocks = list(raw.scan(chunk_series=16))
+    assert blocks
+    for _, block in blocks:
+        assert np.shares_memory(block, arena)  # no intermediate bytes
+    np.testing.assert_array_equal(
+        np.concatenate([b for _, b in blocks]), data
+    )
+
+
+def test_buffer_pool_caches_views_not_copies():
+    disk = SimulatedDisk(page_size=256)
+    file = PagedFile(disk, n_pages=6)
+    file.write_stream(b"x" * 1400)
+    arena = disk._arenas.arenas[0]
+    pool = BufferPool(disk, capacity_pages=8)
+    blob = pool.read_run_bytes(0, 6)  # cold cache: one bulk device read
+    assert isinstance(blob, memoryview) and blob.obj is arena
+    for page_id, cached in pool._cache.items():
+        assert isinstance(cached, memoryview) and cached.obj is arena
+    hit = pool.read(2)
+    assert isinstance(hit, memoryview) and hit.obj is arena
+    assert pool.hits == 1 and pool.misses == 6
+    # Write-through admits the device's own page view, not a copy.
+    pool.write(1, b"fresh")
+    assert pool._cache[1].obj is arena
+    assert bytes(pool.read(1)) == b"fresh".ljust(256, b"\x00")
+
+
+def test_arena_views_observe_later_writes():
+    """Documented aliasing contract: views are windows, not snapshots."""
+    disk = SimulatedDisk(page_size=16)
+    disk.allocate(1)
+    disk.write_page(0, b"before")
+    view = disk.read_page(0)
+    disk.write_page(0, b"after!")
+    assert bytes(view) == b"after!".ljust(16, b"\x00")
+
+
+def test_shard_detach_splices_without_per_page_copies():
+    page_size, extent_pages = 1024, 128
+    disk = SimulatedDisk(page_size=page_size)
+    source = PagedFile(disk, n_pages=4)
+    source.write_stream(bytes(range(256)) * 12)
+    extent = disk.allocate(extent_pages)
+    payload = (bytes(range(256)) * (extent_pages * 4))[: extent_pages * page_size]
+    session = ShardedDisk(disk, [(extent, extent_pages)])
+    (shard,) = session.shards
+    shard.write_run_bytes(extent, payload, extent_pages)
+    tracemalloc.start()
+    session.detach()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # The whole 128 KiB extent reconciles as one arena splice: no page
+    # payload is allocated on the way (the dict store would re-insert
+    # 128 KiB of page objects; what remains is the written-page id
+    # bookkeeping, a few bytes per page).
+    assert peak < extent_pages * 128
+    assert bytes(disk.read_run_bytes(extent, extent_pages)) == payload
+
+
+# ------------------------------------------------- cross-store oracle
+def _random_ops(disk, rng):
+    """Drive one device with a deterministic mixed op sequence."""
+    out = []
+    disk.allocate(int(rng.integers(1, 6)))
+    for _ in range(60):
+        op = int(rng.integers(0, 6))
+        allocated = disk.pages_allocated
+        if op == 0 or allocated == 0:
+            disk.allocate(int(rng.integers(1, 6)))
+            continue
+        first = int(rng.integers(0, allocated))
+        span = int(rng.integers(1, min(6, allocated - first) + 1))
+        if op == 1:
+            data = bytes(rng.integers(0, 256, size=int(rng.integers(0, disk.page_size + 1)), dtype=np.uint8))
+            disk.write_page(first, data)
+        elif op == 2:
+            n_bytes = int(rng.integers(0, span * disk.page_size + 1))
+            data = bytes(rng.integers(0, 256, size=n_bytes, dtype=np.uint8))
+            disk.write_run_bytes(first, data, span)
+        elif op == 3:
+            out.append(bytes(disk.read_page(first)))
+        elif op == 4:
+            out.append(bytes(disk.read_run_bytes(first, span)))
+        else:
+            out.append(b"".join(bytes(p) for p in disk.read_run(first, span)))
+    return out
+
+
+def test_dict_and_arena_stores_are_equivalent_under_random_ops():
+    for seed in range(8):
+        arena = SimulatedDisk(page_size=96, store="arena", trace=True)
+        dict_ = SimulatedDisk(page_size=96, store="dict", trace=True)
+        got_a = _random_ops(arena, np.random.default_rng(seed))
+        got_d = _random_ops(dict_, np.random.default_rng(seed))
+        assert got_a == got_d, seed
+        assert arena.stats == dict_.stats, seed
+        assert arena.head_position == dict_.head_position, seed
+        assert arena.trace == dict_.trace, seed
+        assert arena.dump_pages() == dict_.dump_pages(), seed
+        assert arena.pages_written == dict_.pages_written, seed
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_spilled_sort_identical_across_stores(workers):
+    """The whole sort/spill/merge stack is store-agnostic, sharded too.
+
+    Same merged stream, chunk shapes, SortReport, DiskStats and access
+    trace on the arena store as on the dict oracle — serially and with
+    the sharded parallel cascade (``workers > 1`` exercises DiskShard
+    arenas and the splice-based detach end to end).
+    """
+    rng = np.random.default_rng(11)
+    raw = rng.integers(0, 256, size=(4000, 8), dtype=np.uint8)
+    keys = raw.view("S8").ravel()
+    payloads = rng.standard_normal((4000, 4)).astype(np.float32)
+    results = {}
+    for store in PAGE_STORES:
+        disk = SimulatedDisk(page_size=1024, store=store, trace=True)
+        sorter = ExternalSorter(
+            disk, 4096 * 4, merge_workers=workers, pool_kind="serial"
+        )
+        parts = list(sorter.sort(keys, payloads))
+        results[store] = {
+            "keys": np.concatenate([k for k, _ in parts]),
+            "payloads": np.concatenate([p for _, p in parts]),
+            "shapes": [len(k) for k, _ in parts],
+            "stats": disk.stats,
+            "trace": disk.trace,
+            "report": sorter.report,
+            "pages": disk.dump_pages(),
+        }
+    a, d = results["arena"], results["dict"]
+    assert a["report"].spilled
+    np.testing.assert_array_equal(a["keys"], d["keys"])
+    np.testing.assert_array_equal(a["payloads"], d["payloads"])
+    assert a["shapes"] == d["shapes"]
+    assert a["report"] == d["report"]
+    assert a["stats"] == d["stats"]
+    assert a["trace"] == d["trace"]
+    assert a["pages"] == d["pages"]

@@ -83,6 +83,16 @@ def test_merge_command(capsys):
     assert "io_identical" in out
 
 
+def test_arena_command(capsys):
+    code = main(["arena", "--n", "2000", "--records", "6000",
+                 "--runs", "4", "--workers", "1", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "arena vs dict page store" in out
+    assert "scan" in out and "fetch" in out and "merge[2w]" in out
+    assert "io_identical" in out
+
+
 def test_query_batch_knn_works_with_default_indexes(capsys):
     """Regression: --batch --k 2 crashed on ADS+ (no k-NN override)."""
     code = main(["query", "--n", "300", "--length", "64", "--queries", "2",

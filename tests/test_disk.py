@@ -24,7 +24,10 @@ def test_write_then_read_roundtrip():
     disk = SimulatedDisk(page_size=64)
     page = disk.allocate()
     disk.write_page(page, b"hello")
-    assert disk.read_page(page) == b"hello"
+    # Reads always return the full zero-padded page.
+    got = disk.read_page(page)
+    assert len(got) == 64
+    assert bytes(got) == b"hello".ljust(64, b"\x00")
 
 
 def test_write_rejects_oversized_data():

@@ -90,6 +90,24 @@ def test_append_batch_validates_length():
         raw.append_batch(np.zeros((2, 8), dtype=np.float32))
 
 
+def test_append_into_partial_page_with_non_float_page_size():
+    """Regression: the partial-page rewrite parses a padded page.
+
+    Page reads return full zero-padded pages; when ``page_size`` is not
+    a float32 multiple the rewrite must bound its parse to the resident
+    records instead of ``frombuffer``-ing the whole page.
+    """
+    rng = np.random.default_rng(8)
+    data = rng.standard_normal((3, 4)).astype(np.float32)  # 16 B records
+    disk = SimulatedDisk(page_size=70)  # 4 records + 6 B padding, 70 % 4 != 0
+    raw = RawSeriesFile.create(disk, data[:2])
+    extra = rng.standard_normal((4, 4)).astype(np.float32)
+    raw.append_batch(extra)  # starts mid-page
+    combined = np.concatenate([data[:2], extra])
+    for idx in range(len(combined)):
+        np.testing.assert_array_equal(raw.get(idx), combined[idx])
+
+
 def test_long_series_span_multiple_pages():
     rng = np.random.default_rng(2)
     data = rng.standard_normal((5, 64)).astype(np.float32)  # 256 bytes each
