@@ -16,6 +16,7 @@ Examples::
     python -m repro.bench merge --records 200000 --runs 32 --workers 2 4
     python -m repro.bench spilled --records 200000 --runs 8 --workers 4
     python -m repro.bench arena --n 50000 --records 200000 --workers 1 2
+    python -m repro.bench fetch --n 50000
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
 
@@ -40,6 +41,7 @@ from .harness import (
     run_arena_sweep,
     run_batch_query_experiment,
     run_build_sweep,
+    run_fetch_sweep,
     run_merge_engine_sweep,
     run_parallel_build_sweep,
     run_query_experiment,
@@ -187,6 +189,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     arena.add_argument("--seed", type=int, default=7)
 
+    fetch = commands.add_parser(
+        "fetch",
+        help="vectorized gather/refine vs the loop-level fetch oracle",
+    )
+    fetch.add_argument(
+        "--n", type=int, nargs="+", default=[10_000, 50_000],
+        help="series counts for the gather/refine cells",
+    )
+    fetch.add_argument("--length", type=int, default=128)
+    fetch.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the skip-sequential gather visits",
+    )
+    fetch.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per cell (best-of)",
+    )
+    fetch.add_argument("--seed", type=int, default=7)
+
     space = commands.add_parser("space", help="index size and fill factors")
     _add_dataset_arguments(space)
 
@@ -209,7 +230,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers parallelizes the batched engine; add --batch")
     spec = (
         _spec(args)
-        if args.command not in ("merge", "spilled", "arena")
+        if args.command not in ("merge", "spilled", "arena", "fetch")
         else None
     )
     if args.command == "build":
@@ -267,6 +288,22 @@ def main(argv: list[str] | None = None) -> int:
             columns=[
                 "workload", "n_series", "records", "runs", "cores",
                 "dict_s", "arena_s", "speedup", "identical", "io_identical",
+            ],
+        )
+    elif args.command == "fetch":
+        rows = run_fetch_sweep(
+            args.n,
+            length=args.length,
+            fetch_fraction=args.fetch_fraction,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        print_experiment(
+            "vectorized fetch vs loop oracle",
+            rows,
+            columns=[
+                "workload", "store", "n_series", "cores",
+                "loop_s", "vector_s", "speedup", "identical", "io_identical",
             ],
         )
     elif args.command == "space":

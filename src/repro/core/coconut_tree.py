@@ -56,7 +56,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
 from ..storage.external_sort import ExternalSorter
 from ..storage.pager import PagedFile
@@ -423,7 +423,11 @@ class CoconutTree(SeriesIndex):
             subset = records[start : start + window]
             series = self.raw.get_many(subset["off"])
             identifiers = subset["off"].astype(np.int64)
-        return identifiers, euclidean_batch(query, series)
+        # No running bound at the approximate probe: the inf bound
+        # short-circuits the fused kernel to the plain batch distance.
+        return identifiers, early_abandon_euclidean_block(
+            query, series, float("inf")
+        )
 
     def _ensure_summaries(self) -> None:
         """Load (or refresh) the in-memory summary arrays, charging I/O."""

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
 from ..storage.external_sort import ExternalSorter, sort_to_arrays
 from ..storage.pager import PagedFile
@@ -297,7 +297,9 @@ class CoconutTrie(SeriesIndex):
                     )
                     records = records[start : start + window]
                     series = self.raw.get_many(records["off"])
-                distances = euclidean_batch(query, series)
+                distances = early_abandon_euclidean_block(
+                    query, series, float("inf")
+                )
                 visited = len(records)
                 j = int(np.argmin(distances))
                 best_idx, best_dist = int(records["off"][j]), float(distances[j])
@@ -407,7 +409,9 @@ class CoconutTrie(SeriesIndex):
                 )
                 records = records[start : start + window]
                 series = self.raw.get_many(records["off"])
-            distances = euclidean_batch(queries[qi], series)
+            distances = early_abandon_euclidean_block(
+                queries[qi], series, float("inf")
+            )
             j = int(np.argmin(distances))
             results[qi] = QueryResult(
                 answer_idx=int(records["off"][j]),

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..summaries.paa import paa
 from ..summaries.sax import SAXConfig, mindist_paa_to_words
 from .sims import FetchFn
@@ -146,7 +146,16 @@ def sims_knn_scan(
         if len(block) == 0:
             continue
         series, identifiers = fetch(block)
-        distances = euclidean_batch(query, series)
+        # Fused refine against the k-th best distance.  Abandoned rows
+        # come back ``inf`` — but an abandoned row has distance
+        # strictly above the block-start threshold, so its offer was
+        # doomed anyway (thresholds only shrink within a block): the
+        # heap evolves bit-identically to the full euclidean_batch
+        # pass.  While the heap is not yet full the threshold is inf
+        # and the kernel short-circuits to the plain batch distance.
+        distances = early_abandon_euclidean_block(
+            query, series, heap.threshold
+        )
         visited += len(block)
         for distance, identifier in zip(distances, identifiers):
             heap.offer(float(distance), int(identifier))

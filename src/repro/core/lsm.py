@@ -50,7 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
 from ..storage.merge import merge_presorted
 from ..storage.pager import PagedFile
@@ -354,7 +354,9 @@ class CoconutLSM(SeriesIndex):
             offsets = np.unique(np.concatenate(offset_parts))
             if len(offsets):
                 series = self.raw.get_many(offsets)
-                distances = euclidean_batch(query, series)
+                distances = early_abandon_euclidean_block(
+                    query, series, float("inf")
+                )
                 visited = len(offsets)
                 j = int(np.argmin(distances))
                 best_idx, best_dist = int(offsets[j]), float(distances[j])

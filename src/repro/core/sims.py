@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..summaries.paa import paa
 from ..summaries.sax import SAXConfig, mindist_paa_to_words
 
@@ -76,7 +76,12 @@ def sims_scan(
         if len(block) == 0:
             continue
         series, identifiers = fetch(block)
-        distances = euclidean_batch(query, series)
+        # Fused refine: rows abandoned against the current bsf come
+        # back ``inf``, but an abandoned row provably has distance
+        # > bsf, so it could never have won the argmin update below —
+        # answers and bsf evolution are bit-identical to the full
+        # euclidean_batch pass.
+        distances = early_abandon_euclidean_block(query, series, bsf)
         visited += len(block)
         best = int(np.argmin(distances))
         if distances[best] < bsf:

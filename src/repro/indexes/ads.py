@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.sims import sims_scan
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
 from ..storage.seriesfile import RawSeriesFile
 from ..summaries.sax import SAXConfig, sax_words
@@ -206,7 +206,9 @@ class ADSIndex(SeriesIndex):
                     series = self.raw.get_many(records["off"])
                 else:
                     series = records["series"].astype(np.float64)
-                distances = euclidean_batch(query, series)
+                distances = early_abandon_euclidean_block(
+                    query, series, float("inf")
+                )
                 visited = len(records)
                 j = int(np.argmin(distances))
                 best_idx, best_dist = int(records["off"][j]), float(distances[j])

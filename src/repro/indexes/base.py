@@ -197,13 +197,19 @@ class SeriesIndex(abc.ABC):
                 simulated_io_ms=result.simulated_io_ms,
                 wall_s=result.wall_s,
             )
-        from ..series.distance import euclidean_batch
+        from ..series.distance import early_abandon_euclidean_block
 
         query = self._query_array(query)
         heap = _BoundedMaxHeap(k)
         with Measurement(self.disk) as measure:
             for start, block in self._require_built().scan():
-                distances = euclidean_batch(query, block.astype(np.float64))
+                # Fused refine against the block-start k-th best:
+                # abandoned rows (inf) sit strictly above it, so the
+                # heap retains exactly what the full-distance scan
+                # would.
+                distances = early_abandon_euclidean_block(
+                    query, block.astype(np.float64), heap.threshold
+                )
                 for j in np.argsort(distances, kind="stable")[:k]:
                     heap.offer(float(distances[j]), start + int(j))
         items = heap.sorted_items()

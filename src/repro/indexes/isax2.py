@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
 from ..storage.seriesfile import RawSeriesFile
 from ..summaries.isax import ISAXPrefix
@@ -379,7 +379,8 @@ class ISAX2Index(SeriesIndex):
             series = records["series"].astype(np.float64)
         else:
             series = self.raw.get_many(records["off"])
-        return euclidean_batch(query, series), records["off"].astype(np.int64)
+        distances = early_abandon_euclidean_block(query, series, float("inf"))
+        return distances, records["off"].astype(np.int64)
 
     def approximate_search(self, query: np.ndarray) -> QueryResult:
         query = self._query_array(query)

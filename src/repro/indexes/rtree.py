@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
 from ..storage.external_sort import ExternalSorter, sort_to_arrays
 from ..storage.pager import PagedFile
@@ -191,13 +191,20 @@ class RTreeIndex(SeriesIndex):
             dtype=self.record_dtype,
         )
 
-    def _leaf_distances(self, query, leaf) -> tuple[np.ndarray, np.ndarray]:
+    def _leaf_distances(
+        self, query, leaf, best_so_far: float = float("inf")
+    ) -> tuple[np.ndarray, np.ndarray]:
         records = self._read_leaf(leaf)
         if self.is_materialized:
             series = records["series"].astype(np.float64)
         else:
             series = self.raw.get_many(records["off"])
-        return euclidean_batch(query, series), records["off"].astype(np.int64)
+        # With the default inf bound the kernel short-circuits to the
+        # plain batch distance; the branch-and-bound search passes its
+        # evolving bsf so within-leaf refine abandons rows it already
+        # knows cannot win (inf rows lose the argmin update anyway).
+        distances = early_abandon_euclidean_block(query, series, best_so_far)
+        return distances, records["off"].astype(np.int64)
 
     def approximate_search(self, query: np.ndarray) -> QueryResult:
         """Greedy descent to the closest leaf MBR."""
@@ -266,7 +273,9 @@ class RTreeIndex(SeriesIndex):
                                 ),
                             )
                         continue
-                    distances, offsets = self._leaf_distances(query, node)
+                    distances, offsets = self._leaf_distances(
+                        query, node, best_so_far=bsf
+                    )
                     visited += len(offsets)
                     leaves_read += 1
                     j = int(np.argmin(distances))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.seriesfile import RawSeriesFile
 from .base import BuildReport, Measurement, QueryResult, SeriesIndex
 
@@ -43,7 +43,12 @@ class SerialScan(SeriesIndex):
         with Measurement(self.disk) as measure:
             best_idx, best_dist = -1, float("inf")
             for start, block in self.raw.scan():
-                distances = euclidean_batch(query, block.astype(np.float64))
+                # Fused refine: abandoned rows (inf) have distance
+                # strictly above best_dist, so the argmin update below
+                # sees bit-identical winners.
+                distances = early_abandon_euclidean_block(
+                    query, block.astype(np.float64), best_dist
+                )
                 j = int(np.argmin(distances))
                 if distances[j] < best_dist:
                     best_dist = float(distances[j])
@@ -97,7 +102,9 @@ class SerialScan(SeriesIndex):
             for start, block in self.raw.scan():
                 block64 = block.astype(np.float64)
                 for heap, query in zip(heaps, queries):
-                    distances = euclidean_batch(query, block64)
+                    distances = early_abandon_euclidean_block(
+                        query, block64, heap.threshold
+                    )
                     top = np.argsort(distances, kind="stable")[: batch.k]
                     for j in top:
                         heap.offer(float(distances[j]), start + int(j))

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..core.knn import KNNOutcome, _BoundedMaxHeap
 from ..indexes.base import BatchReport, Measurement, QueryResult
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..summaries.paa import paa
 from ..summaries.sax import SAXConfig, mindist_paa_to_words
 
@@ -127,7 +127,14 @@ def walk_candidate_blocks(
             rows = np.nonzero(need[i])[0]
             if len(rows) == 0:
                 continue
-            distances = euclidean_batch(queries[i], series[rows])
+            # Fused refine against this query's block-start threshold:
+            # abandoned rows (inf) sit strictly above it, so their
+            # offers were doomed regardless of how the threshold
+            # shrinks within the block — heap evolution is
+            # bit-identical to the full euclidean_batch pass.
+            distances = early_abandon_euclidean_block(
+                queries[i], series[rows], thresholds[i]
+            )
             visited[i] += len(rows)
             for distance, identifier in zip(distances, identifiers[rows]):
                 heaps[i].offer(float(distance), int(identifier))

@@ -70,7 +70,7 @@ import numpy as np
 
 from ..core.knn import _BoundedMaxHeap
 from ..indexes.base import BatchReport, Measurement
-from ..series.distance import euclidean_batch
+from ..series.distance import early_abandon_euclidean_block
 from ..storage.bufferpool import BufferPool
 from ..storage.disk import ShardedDisk
 from ..summaries.paa import paa
@@ -413,7 +413,15 @@ def parallel_serial_scan_batch(
         for start, block in view.scan(start=lo, stop=hi):
             block64 = block.astype(np.float64)
             for heap, query in zip(local, queries):
-                distances = euclidean_batch(query, block64)
+                # Fused refine against this heap's block-start k-th
+                # best.  Abandoned rows come back ``inf``: every one
+                # sits strictly above the threshold, so the multiset
+                # of *retained* offers — all the order-independent
+                # heap ever looks at — is unchanged, and the merged
+                # answers stay bit-identical to the full-distance scan.
+                distances = early_abandon_euclidean_block(
+                    query, block64, heap.threshold
+                )
                 top = np.argsort(distances, kind="stable")[:k]
                 for j in top:
                     heap.offer(float(distances[j]), start + int(j))

@@ -4,6 +4,7 @@ from .dataseries import EPSILON, is_z_normalized, validate_series_batch, z_norma
 from .distance import (
     dtw,
     early_abandon_euclidean,
+    early_abandon_euclidean_block,
     euclidean,
     euclidean_batch,
     lb_keogh,
@@ -25,6 +26,7 @@ __all__ = [
     "astronomy",
     "dtw",
     "early_abandon_euclidean",
+    "early_abandon_euclidean_block",
     "euclidean",
     "euclidean_batch",
     "is_z_normalized",

@@ -44,26 +44,95 @@ def early_abandon_euclidean(
 ) -> float:
     """ED with early abandoning against a best-so-far threshold.
 
-    Returns ``inf`` as soon as the running sum exceeds
-    ``best_so_far**2``; the UCR-suite optimization used throughout the
-    data series indexing literature.  The sum accumulates in NumPy
-    chunks of ``chunk`` elements (default
-    :data:`EARLY_ABANDON_CHUNK`) and the threshold is checked between
-    chunks: squared differences only ever grow the sum, so abandoning
-    at chunk granularity gives the same inf/finite outcome as the
-    per-element check while running at vector speed.
+    The UCR-suite optimization used throughout the data series
+    indexing literature: partial sums of squared differences
+    accumulate in chunks of ``chunk`` elements (default
+    :data:`EARLY_ABANDON_CHUNK`) and the candidate is abandoned —
+    ``inf`` returned — as soon as a *proper prefix* of the series
+    already exceeds ``best_so_far``.  Squared differences only ever
+    grow the sum, so an abandoned candidate provably has full distance
+    strictly above the threshold.
+
+    Survivors are returned as :func:`euclidean` of the full series —
+    the exact same reduction every non-abandoning path uses — so
+    every finite result is **bitwise identical** to the plain
+    distance, independent of ``chunk``.  The threshold is never
+    checked after the final chunk: a candidate whose full distance
+    ties ``best_so_far`` exactly comes back finite, not ``inf``,
+    keeping tie-handling identical to the non-abandoning code path.
+
+    Raises ``ValueError`` on mismatched shapes (it used to silently
+    truncate to the shorter input, producing a wrong finite distance).
     """
     a = np.asarray(a, dtype=np.float64).ravel()
     b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     chunk = chunk if chunk > 0 else EARLY_ABANDON_CHUNK
-    limit = best_so_far * best_so_far
     total = 0.0
-    for at in range(0, min(len(a), len(b)), chunk):
+    for at in range(0, len(a) - chunk, chunk):
         diff = a[at : at + chunk] - b[at : at + chunk]
-        total += float(np.dot(diff, diff))
-        if total > limit:
+        total += float(np.sum(diff * diff))
+        if np.sqrt(total) > best_so_far:
             return float("inf")
-    return float(np.sqrt(total))
+    return euclidean(a, b)
+
+
+def early_abandon_euclidean_block(
+    query: np.ndarray,
+    block: np.ndarray,
+    best_so_far: float,
+    chunk: int = 0,
+) -> np.ndarray:
+    """Batched early-abandoning ED: one query against a whole block.
+
+    The vectorized form of :func:`early_abandon_euclidean`, applied to
+    every row of ``block`` at once: partial sums accumulate chunk by
+    chunk over the still-active rows, rows whose proper-prefix sum
+    already exceeds ``best_so_far`` drop out with ``inf``, and the
+    survivors' distances are recomputed with the exact
+    :func:`euclidean_batch` reduction.  Both the abandon decisions and
+    every finite distance are **bitwise identical** to running the
+    scalar kernel row by row — and every finite distance is bitwise
+    identical to :func:`euclidean_batch` — so swapping this kernel
+    into a refine loop cannot change answers, tie order, or any
+    downstream comparison, only the amount of arithmetic performed.
+
+    A non-finite (or NaN) ``best_so_far`` can never abandon anything,
+    so the kernel short-circuits to :func:`euclidean_batch`; likewise
+    when the series fit in a single chunk (no proper-prefix boundary
+    exists to check).
+
+    Raises ``ValueError`` when ``block`` is not 2-D with rows the
+    length of ``query``.
+    """
+    query = np.asarray(query, dtype=np.float64).ravel()
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2 or block.shape[1] != query.shape[0]:
+        raise ValueError(f"shape mismatch: {block.shape} vs {query.shape}")
+    n, length = block.shape
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    chunk = chunk if chunk > 0 else EARLY_ABANDON_CHUNK
+    bound = float(best_so_far)
+    if np.isnan(bound) or bound == np.inf or length <= chunk:
+        return euclidean_batch(query, block)
+    out = np.full(n, np.inf)
+    totals = np.zeros(n)
+    active = np.arange(n)
+    for at in range(0, length - chunk, chunk):
+        sub = block[active, at : at + chunk] - query[at : at + chunk]
+        totals[active] += np.sum(sub * sub, axis=1)
+        # ``~(x > bound)`` rather than ``x <= bound``: NaN prefixes
+        # must stay active (and come back NaN), exactly as the scalar
+        # kernel's ``if sqrt > bound`` keeps them.
+        active = active[~(np.sqrt(totals[active]) > bound)]
+        if len(active) == 0:
+            return out
+    out[active] = np.sqrt(
+        np.sum((block[active] - query[None, :]) ** 2, axis=1)
+    )
+    return out
 
 
 def dtw(a: np.ndarray, b: np.ndarray, window: int | None = None) -> float:

@@ -14,10 +14,56 @@ from __future__ import annotations
 from typing import Iterator
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from .bufferpool import BufferPool
 from .disk import SimulatedDisk
 from .pager import PagedFile
+
+
+def _consecutive_runs(values: np.ndarray) -> "list[tuple[int, int]]":
+    """Split ascending distinct ``values`` into maximal consecutive runs.
+
+    Returns ``(first_value, count)`` pairs in ascending order — the
+    planning step of the grouped gather: each run becomes one bulk
+    read whose classified counters equal the page-at-a-time sequence.
+    """
+    if len(values) == 0:
+        return []
+    breaks = np.nonzero(np.diff(values) != 1)[0] + 1
+    starts = np.concatenate([[0], breaks, [len(values)]])
+    return [
+        (int(values[starts[i]]), int(starts[i + 1] - starts[i]))
+        for i in range(len(starts) - 1)
+    ]
+
+
+def _sorted_unique(values: np.ndarray) -> "tuple[np.ndarray, bool]":
+    """Ascending distinct values, hash-free.
+
+    Returns ``(uniq, values_is_uniq)`` where the flag records that the
+    input was already strictly ascending (so callers can skip their
+    final reorder take).  Fetch plans usually arrive sorted and
+    deduplicated — one vectorized diff is then the entire cost.
+    """
+    if len(values) < 2:
+        return values, True
+    diffs = np.diff(values)
+    if (diffs > 0).all():
+        return values, True
+    if (diffs >= 0).all():
+        return values[np.concatenate(([True], diffs > 0))], False
+    ordered = np.sort(values)
+    keep = np.concatenate(([True], ordered[1:] != ordered[:-1]))
+    return ordered[keep], False
+
+
+def _dedup_sorted(values: np.ndarray) -> np.ndarray:
+    """Distinct values of an already non-decreasing array."""
+    if len(values) < 2:
+        return values
+    keep = np.concatenate(([True], values[1:] != values[:-1]))
+    return values if keep.all() else values[keep]
 
 
 class RawSeriesFile:
@@ -199,22 +245,132 @@ class RawSeriesFile:
         )
         return np.frombuffer(blob[: self.record_bytes], dtype=np.float32).copy()
 
+    def _check_idxs(self, idxs: np.ndarray) -> None:
+        """Bounds-check a whole index array before any I/O happens.
+
+        With the padded-read page contract an out-of-range index would
+        otherwise silently gather zeros (or arbitrary neighbouring
+        records); fetches must fail exactly like :meth:`get` does.
+        """
+        lo = int(idxs.min())
+        hi = int(idxs.max())
+        if lo < 0 or hi >= self.n_series:
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"series {bad} out of range [0, {self.n_series})")
+
     def get_many(self, idxs: np.ndarray) -> np.ndarray:
         """Fetch many series, visiting each page once in ascending order.
 
         This is the skip-sequential access pattern of the SIMS exact
-        search: indices are visited in file order so the disk head only
-        moves forward.
+        search: the distinct pages behind ``idxs`` are visited in file
+        order so the disk head only moves forward, duplicates and
+        unsorted input included, and series spanning several pages are
+        folded into the same one-visit-per-page plan.  The gather is
+        fully vectorized: maximal consecutive page runs are read as
+        single padded streams, parsed with one strided copy per run,
+        and the output rows are assembled with one fancy-index take —
+        no per-record Python work.  Raises :class:`IndexError` on any
+        out-of-range index before any I/O is performed.
         """
-        idxs = np.asarray(idxs, dtype=np.int64)
-        order = np.argsort(idxs, kind="stable")
+        idxs = np.asarray(idxs, dtype=np.int64).ravel()
+        if len(idxs) == 0:
+            return np.empty((0, self.length), dtype=np.float32)
+        self._check_idxs(idxs)
+        page_size = self.disk.page_size
+        # Dedup without hashing: the SIMS fetch already hands us sorted
+        # unique candidates, so detect that (one diff) before paying
+        # for a sort, and remember when the output rows can be returned
+        # without the final reorder take.
+        uniq, idxs_is_uniq = _sorted_unique(idxs)
+        # Record-sized void cells make every gather below move whole
+        # records per element (one C memcpy each), never single bytes.
+        cell = np.dtype((np.void, self.record_bytes))
+        # Phase 1 — I/O only: one counted read per maximal consecutive
+        # page run (the per-page classified counters are guaranteed
+        # identical by the device contract), buffers collected in rank
+        # order.  All parsing is deferred so the per-run Python cost is
+        # nothing but the read itself.
+        if self.pages_per_series == 1:
+            spp = self.series_per_page
+            pages = uniq // spp  # non-decreasing
+            slots = uniq % spp
+            uniq_pages = _dedup_sorted(pages)
+            record_stride = cell.itemsize
+        else:
+            pps = self.pages_per_series
+            pages = uniq  # one record <-> pps consecutive pages
+            slots = None
+            uniq_pages = uniq
+            record_stride = pps * page_size
+        parts = []
+        for first, count in _consecutive_runs(uniq_pages):
+            if count == 1 and self.pages_per_series == 1:
+                parts.append(self._read_logical(first))
+            elif self.pages_per_series == 1:
+                parts.append(self._read_logical_run(first, count))
+            else:
+                parts.append(
+                    self._read_logical_run(first * pps, count * pps)
+                )
+        # Phase 2 — one vectorized gather over the joined stream.  The
+        # join is a single C-level concatenation (zero-copy when the
+        # plan collapsed to one run); every requested page occupies one
+        # page_size slot in rank order, so record cells sit at a
+        # uniform stride and one fancy-index take assembles the rows.
+        stream = parts[0] if len(parts) == 1 else b"".join(parts)
+        gathered = np.empty((len(uniq), self.length), dtype=np.float32)
+        if self.pages_per_series == 1:
+            src = np.frombuffer(
+                stream,
+                dtype=cell,
+                count=len(uniq_pages) * page_size // cell.itemsize,
+            )
+            # Strided (page, slot) window over the padded stream: rows
+            # start at page boundaries (skipping each page's tail
+            # padding), columns at record boundaries.
+            window = as_strided(
+                src,
+                shape=(len(uniq_pages), spp),
+                strides=(page_size, cell.itemsize),
+            )
+            page_rank = np.searchsorted(uniq_pages, pages)
+            gathered.reshape(-1).view(cell)[:] = window[page_rank, slots]
+        else:
+            src = np.frombuffer(
+                stream,
+                dtype=cell,
+                count=len(uniq) * record_stride // cell.itemsize,
+            )
+            gathered.reshape(-1).view(cell)[:] = as_strided(
+                src, shape=(len(uniq),), strides=(record_stride,)
+            )
+        if idxs_is_uniq:
+            return gathered
+        return gathered[np.searchsorted(uniq, idxs)]
+
+    def get_many_loop(self, idxs: np.ndarray) -> np.ndarray:
+        """Loop-level oracle for :meth:`get_many` (retained on purpose).
+
+        Executes the same one-visit-per-page ascending plan — same
+        bounds checks, same pages in the same order, hence the same
+        classified :class:`repro.storage.cost.DiskStats` — but
+        assembles every record with per-record Python slicing.  The
+        fetch equivalence suite and ``bench fetch`` pin the vectorized
+        gather against this, cell by cell, on both page stores.
+        """
+        idxs = np.asarray(idxs, dtype=np.int64).ravel()
         out = np.empty((len(idxs), self.length), dtype=np.float32)
-        last_page = -1
-        page_floats = np.empty(0, dtype=np.float32)
-        for pos in order:
-            idx = int(idxs[pos])
-            if self.pages_per_series == 1:
-                page = self._page_of(idx)
+        if len(idxs) == 0:
+            return out
+        self._check_idxs(idxs)
+        if self.pages_per_series == 1:
+            spp = self.series_per_page
+            order = np.argsort(idxs, kind="stable")
+            last_page = -1
+            page_floats = np.empty(0, dtype=np.float32)
+            for pos in order:
+                idx = int(idxs[pos])
+                page = idx // spp
                 if page != last_page:
                     # One float view per page (zero-copy over the
                     # device's page view); records inside it are plain
@@ -225,10 +381,27 @@ class RawSeriesFile:
                         page_data[:usable], dtype=np.float32
                     )
                     last_page = page
-                offset = (idx % self.series_per_page) * self.length
+                offset = (idx % spp) * self.length
                 out[pos] = page_floats[offset : offset + self.length]
-            else:
-                out[pos] = self.get(idx)
+            return out
+        # Multi-page records: read each distinct record's page span
+        # once, in ascending order (one visit per page), then route
+        # rows — duplicates included — from the assembled cache.
+        pps = self.pages_per_series
+        assembled: dict[int, np.ndarray] = {}
+        for idx in np.unique(idxs):
+            first = int(idx) * pps
+            blob = b"".join(
+                bytes(self._read_logical(first + j)).ljust(
+                    self.disk.page_size, b"\x00"
+                )
+                for j in range(pps)
+            )
+            assembled[int(idx)] = np.frombuffer(
+                blob[: self.record_bytes], dtype=np.float32
+            )
+        for pos, idx in enumerate(idxs):
+            out[pos] = assembled[int(idx)]
         return out
 
     def scan(
@@ -261,35 +434,54 @@ class RawSeriesFile:
             while page <= last_page:
                 take = min(chunk_pages, last_page - page + 1)
                 raw = self._read_logical_run(page, take)
-                if payload == page_size:
-                    blob = raw
-                else:
-                    # Records are packed per page: strip each page's
-                    # tail padding (pages whose size is not a record
-                    # multiple) before treating records as contiguous.
-                    chunk_view = memoryview(raw)
-                    blob = b"".join(
-                        chunk_view[i * page_size : i * page_size + payload]
-                        for i in range(take)
-                    )
                 block_first = page * spp
                 lo = idx - block_first
                 hi = min((page + take) * spp, stop) - block_first
-                block = np.frombuffer(
-                    blob[lo * self.record_bytes : hi * self.record_bytes],
-                    dtype=np.float32,
-                ).reshape(hi - lo, self.length)
-                yield idx, block
+                if payload == page_size:
+                    # Records are back to back across pages: parse the
+                    # needed range straight over the stream (zero-copy
+                    # on arena devices).
+                    records = np.frombuffer(
+                        raw, dtype=np.float32, count=take * spp * self.length
+                    ).reshape(take * spp, self.length)
+                else:
+                    # Records are packed per page with tail padding
+                    # (page size not a record multiple): a strided
+                    # (page, payload) window skips each page's padding
+                    # and one vectorized copy packs the records
+                    # contiguously — no per-page join.
+                    src = np.frombuffer(raw, dtype=np.uint8)
+                    packed = np.ascontiguousarray(
+                        as_strided(
+                            src, shape=(take, payload), strides=(page_size, 1)
+                        )
+                    )
+                    records = packed.view(np.float32).reshape(
+                        take * spp, self.length
+                    )
+                yield idx, records[lo:hi]
                 idx = block_first + hi
                 page += take
         else:
+            # Multi-page records: each chunk's page span is one
+            # consecutive logical run — stream it once (one visit per
+            # page, same counters as page-at-a-time) and carve records
+            # out with a strided copy that skips each span's padding.
             step = max(1, chunk_series or 64)
+            pps = self.pages_per_series
+            page_size = self.disk.page_size
             for first in range(start, stop, step):
                 count = min(step, stop - first)
-                block = np.empty((count, self.length), dtype=np.float32)
-                for i in range(count):
-                    block[i] = self.get(first + i)
-                yield first, block
+                raw = self._read_logical_run(first * pps, count * pps)
+                src = np.frombuffer(raw, dtype=np.uint8)
+                packed = np.ascontiguousarray(
+                    as_strided(
+                        src,
+                        shape=(count, self.record_bytes),
+                        strides=(pps * page_size, 1),
+                    )
+                )
+                yield first, packed.view(np.float32)
 
     @property
     def size_bytes(self) -> int:

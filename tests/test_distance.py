@@ -52,9 +52,25 @@ def test_early_abandon_agrees_when_within_threshold():
 
 
 def test_early_abandon_returns_inf_beyond_threshold():
+    # Longer than one chunk so a proper-prefix boundary exists: the
+    # kernel abandons between chunks, never after the final one.
+    a = np.zeros(64)
+    b = np.ones(64) * 10
+    assert early_abandon_euclidean(a, b, 1.0, chunk=32) == float("inf")
+
+
+def test_early_abandon_shape_mismatch():
+    """Regression: mismatched lengths used to be silently truncated."""
+    with pytest.raises(ValueError):
+        early_abandon_euclidean(np.zeros(32), np.zeros(31), 1.0)
+
+
+def test_early_abandon_single_chunk_never_abandons():
+    """No proper-prefix boundary -> the exact distance, never inf."""
     a = np.zeros(32)
     b = np.ones(32) * 10
-    assert early_abandon_euclidean(a, b, 1.0) == float("inf")
+    got = early_abandon_euclidean(a, b, 1.0, chunk=32)
+    assert got == euclidean(a, b)
 
 
 @settings(max_examples=50, deadline=None)
@@ -70,23 +86,22 @@ def test_early_abandon_returns_inf_beyond_threshold():
 def test_property_early_abandon_outcome_matches_full_distance(
     data, threshold, chunk
 ):
-    """inf iff the true distance exceeds the threshold, for any chunk.
+    """Finite results are bitwise the full distance; inf implies beyond.
 
-    The chunked partial sums only ever grow, so abandoning between
-    chunks can never flip the outcome: the result is inf exactly when
-    the full distance is beyond best-so-far, and the full distance
-    otherwise — regardless of chunk size.
+    The chunked partial sums only ever grow, so a proper prefix
+    exceeding the threshold proves the full distance does too — inf is
+    only ever returned for candidates strictly beyond best-so-far.
+    Survivors are recomputed with the plain reduction, so any finite
+    result equals :func:`euclidean` exactly, regardless of chunk size.
     """
     a = np.array([x for x, _ in data])
     b = np.array([y for _, y in data])
     full = euclidean(a, b)
     got = early_abandon_euclidean(a, b, threshold, chunk=chunk)
-    if full > threshold * (1 + 1e-9) + 1e-9:
-        assert got == float("inf")
-    elif full < threshold * (1 - 1e-9) - 1e-9:
-        assert got == pytest.approx(full)
-    else:  # exactly at the threshold: either outcome is faithful
-        assert got == float("inf") or got == pytest.approx(full)
+    if got == float("inf"):
+        assert full > threshold
+    else:
+        assert got == full  # bitwise, not approx
 
 
 def test_early_abandon_vectorized_abandons_between_chunks():

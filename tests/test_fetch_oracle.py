@@ -1,0 +1,248 @@
+"""Cross-store fetch oracle suite: vectorized gather vs loop-level oracle.
+
+The vectorized ``RawSeriesFile.get_many`` / ``scan`` paths must be
+indistinguishable from the retained loop-level oracle
+(``get_many_loop``) on *both* page stores — same float32 payloads, same
+classified :class:`DiskStats`, same head movement, same buffer-pool
+hit/miss counts — for every layout the file supports: page-divisor and
+non-divisor record sizes, records spanning multiple pages, duplicate /
+unsorted / empty / out-of-range index arrays.  The fused refine kernel
+is pinned the same way: bitwise against the scalar early-abandon loop
+and against the plain batch distance for survivors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.series.distance import (
+    early_abandon_euclidean,
+    early_abandon_euclidean_block,
+    euclidean_batch,
+)
+from repro.storage import BufferPool, RawSeriesFile, SimulatedDisk
+from repro.storage.disk import PAGE_STORES
+
+# (n_series, length, page_size): divisor and non-divisor single-page
+# layouts, a page_size that is not a float32 multiple, and multi-page
+# records (page_size < record_bytes).
+GEOMETRIES = [
+    (50, 32, 512),  # divisor: 4 records/page, no padding
+    (25, 12, 256),  # non-divisor: 5 records + 16 B padding per page
+    (137, 16, 1000),  # non-divisor, non-power-of-two page
+    (3, 4, 70),  # page_size not a multiple of 4
+    (9, 64, 128),  # multi-page: 2 pages per record
+    (5, 96, 100),  # multi-page, padding in the last page of each record
+]
+
+INDEX_PATTERNS = [
+    lambda n: np.arange(n),
+    lambda n: np.arange(n)[::-1],  # descending
+    lambda n: np.array([n - 1, 0, n // 2, n // 2, 0]),  # dup + unsorted
+    lambda n: np.array([0]),
+    lambda n: np.array([], dtype=np.int64),
+    lambda n: np.arange(n)[::3],  # strided: non-consecutive pages
+]
+
+
+def make_raw(n, length, page_size, store, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, length)).astype(np.float32)
+    disk = SimulatedDisk(page_size=page_size, store=store)
+    return disk, RawSeriesFile.create(disk, data), data
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+@pytest.mark.parametrize("n,length,page_size", GEOMETRIES)
+def test_get_many_matches_oracle_and_data(store, n, length, page_size):
+    _, raw, data = make_raw(n, length, page_size, store)
+    for pattern in INDEX_PATTERNS:
+        idxs = pattern(n)
+        got = raw.get_many(idxs)
+        oracle = raw.get_many_loop(idxs)
+        assert got.shape == (len(idxs), length)
+        np.testing.assert_array_equal(got, oracle)
+        if len(idxs):
+            np.testing.assert_array_equal(got, data[idxs])
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+@pytest.mark.parametrize("n,length,page_size", GEOMETRIES)
+def test_get_many_stats_match_oracle(store, n, length, page_size):
+    """Same classified I/O and head movement as the loop oracle."""
+    for pattern in INDEX_PATTERNS:
+        idxs = pattern(n)
+        d1, r1, _ = make_raw(n, length, page_size, store)
+        d2, r2, _ = make_raw(n, length, page_size, store)
+        for d in (d1, d2):
+            d.reset_stats()
+            d.park_head()
+        np.testing.assert_array_equal(r1.get_many(idxs), r2.get_many_loop(idxs))
+        assert d1.stats == d2.stats
+        assert d1.head_position == d2.head_position
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+@pytest.mark.parametrize("n,length,page_size", GEOMETRIES)
+def test_get_many_out_of_range_raises_before_io(store, n, length, page_size):
+    """Regression: OOB indexes used to silently gather padded zeros."""
+    disk, raw, _ = make_raw(n, length, page_size, store)
+    for bad in ([n], [-1], [0, n], [n + 100], [0, -1, 1]):
+        for fn in (raw.get_many, raw.get_many_loop):
+            snap = disk.snapshot()
+            with pytest.raises(IndexError):
+                fn(np.array(bad))
+            assert disk.stats_since(snap).total_reads == 0
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+@pytest.mark.parametrize("n,length,page_size", GEOMETRIES)
+def test_scan_matches_data_everywhere(store, n, length, page_size):
+    _, raw, data = make_raw(n, length, page_size, store)
+    for chunk in (None, 1, 3, n, 10 * n):
+        kwargs = {} if chunk is None else {"chunk_series": chunk}
+        got = np.concatenate(
+            [block for _, block in raw.scan(**kwargs)] or [data[:0]]
+        )
+        np.testing.assert_array_equal(got, data)
+    for start, stop in [(0, n), (1, n - 1), (n // 2, n // 2 + 1), (n, n)]:
+        parts = [b for _, b in raw.scan(chunk_series=3, start=start, stop=stop)]
+        got = np.concatenate(parts) if parts else data[:0]
+        np.testing.assert_array_equal(got, data[start:stop])
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+def test_multipage_get_many_visits_each_page_once(store):
+    """Regression: the multi-page path re-read pages per record."""
+    n, length, page_size = 9, 64, 128  # 2 pages per record
+    disk, raw, data = make_raw(n, length, page_size, store)
+    assert raw.pages_per_series == 2
+    idxs = np.array([0, 1, 5, 5, 1])  # dups must not re-read
+    disk.reset_stats()
+    disk.park_head()
+    np.testing.assert_array_equal(raw.get_many(idxs), data[idxs])
+    # Distinct records {0, 1, 5}: 3 records x 2 pages, each read once.
+    assert disk.stats.total_reads == 3 * raw.pages_per_series
+
+
+@pytest.mark.parametrize("store", PAGE_STORES)
+def test_get_many_through_pool_matches_and_counts_like_oracle(store):
+    n, length, page_size = 60, 12, 256
+    disk, raw, data = make_raw(n, length, page_size, store)
+    idxs = np.array([0, 7, 7, 30, 2, 59])
+    pools = []
+    results = []
+    for fn_name in ("get_many", "get_many_loop"):
+        d, r, _ = make_raw(n, length, page_size, store)
+        pool = BufferPool(d, capacity_pages=4)
+        r.attach_pool(pool)
+        results.append(getattr(r, fn_name)(idxs))
+        results.append(getattr(r, fn_name)(idxs))  # second pass: warm cache
+        pools.append(pool)
+    np.testing.assert_array_equal(results[0], data[idxs])
+    np.testing.assert_array_equal(results[0], results[2])
+    np.testing.assert_array_equal(results[1], results[3])
+    assert (pools[0].hits, pools[0].misses) == (pools[1].hits, pools[1].misses)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idxs=st.lists(st.integers(min_value=0, max_value=24), max_size=60),
+    geometry=st.sampled_from([(25, 12, 256), (25, 7, 100), (25, 32, 128)]),
+    store=st.sampled_from(PAGE_STORES),
+)
+def test_property_gather_equals_oracle(idxs, geometry, store):
+    n, length, page_size = geometry
+    d1, r1, data = make_raw(n, length, page_size, store, seed=5)
+    d2, r2, _ = make_raw(n, length, page_size, store, seed=5)
+    idxs = np.array(idxs, dtype=np.int64)
+    for d in (d1, d2):
+        d.reset_stats()
+        d.park_head()
+    got = r1.get_many(idxs)
+    oracle = r2.get_many_loop(idxs)
+    np.testing.assert_array_equal(got, oracle)
+    if len(idxs):
+        np.testing.assert_array_equal(got, data[idxs])
+    assert d1.stats == d2.stats
+
+
+# ------------------------------------------------- fused refine kernel
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=0, max_value=24),
+    length=st.integers(min_value=1, max_value=130),
+    chunk=st.integers(min_value=1, max_value=48),
+    bound_kind=st.sampled_from(["inf", "zero", "median", "min", "max"]),
+)
+def test_property_block_kernel_pinned_to_scalar_loop(
+    seed, n, length, chunk, bound_kind
+):
+    """Bitwise: block kernel == scalar loop per row, finite == batch."""
+    rng = np.random.default_rng(seed)
+    block = rng.standard_normal((n, length)).astype(np.float32)
+    query = rng.standard_normal(length).astype(np.float32)
+    full = euclidean_batch(query, block)
+    bound = {
+        "inf": np.inf,
+        "zero": 0.0,
+        "median": float(np.median(full)) if n else 1.0,
+        "min": float(full.min()) if n else 0.5,
+        "max": float(full.max()) if n else 2.0,
+    }[bound_kind]
+    got = early_abandon_euclidean_block(query, block, bound, chunk=chunk)
+    scalar = np.array(
+        [
+            early_abandon_euclidean(query, block[i], bound, chunk=chunk)
+            for i in range(n)
+        ]
+    )
+    assert got.shape == (n,)
+    # Bitwise equality (inf == inf, finite payloads identical).
+    assert np.array_equal(
+        got.view(np.uint64), scalar.reshape(n).view(np.uint64)
+    )
+    finite = np.isfinite(got)
+    assert np.array_equal(got[finite].view(np.uint64), full[finite].view(np.uint64))
+    # Abandoned rows provably sit strictly beyond the bound.
+    if np.isfinite(bound):
+        assert np.all(full[~finite] > bound)
+
+
+def test_block_kernel_inf_bound_is_plain_batch():
+    rng = np.random.default_rng(9)
+    block = rng.standard_normal((40, 256)).astype(np.float32)
+    query = rng.standard_normal(256).astype(np.float32)
+    got = early_abandon_euclidean_block(query, block, np.inf)
+    ref = euclidean_batch(query, block)
+    assert np.array_equal(got.view(np.uint64), ref.view(np.uint64))
+
+
+def test_block_kernel_shape_mismatch():
+    query = np.zeros(16)
+    with pytest.raises(ValueError):
+        early_abandon_euclidean_block(query, np.zeros((3, 15)), 1.0)
+    with pytest.raises(ValueError):
+        early_abandon_euclidean_block(query, np.zeros(16), 1.0)  # 1-D block
+
+
+def test_block_kernel_empty_block():
+    got = early_abandon_euclidean_block(np.zeros(8), np.empty((0, 8)), 1.0)
+    assert got.shape == (0,)
+
+
+def test_block_kernel_nan_rows_survive_like_scalar():
+    """NaN payloads must come back NaN (kept), never inf (abandoned)."""
+    query = np.zeros(64)
+    block = np.zeros((2, 64))
+    block[0, 40] = np.nan  # NaN after the first chunk boundary
+    block[1, :] = 100.0  # genuinely abandoned
+    got = early_abandon_euclidean_block(query, block, 1.0, chunk=32)
+    scalar = [
+        early_abandon_euclidean(query, block[i], 1.0, chunk=32)
+        for i in range(2)
+    ]
+    assert np.isnan(got[0]) and np.isnan(scalar[0])
+    assert got[1] == float("inf") == scalar[1]

@@ -28,6 +28,15 @@ def test_get_out_of_range():
         raw.get(-1)
 
 
+def test_get_many_out_of_range():
+    """Regression: get_many silently fetched zeros for OOB indexes."""
+    _, raw, _ = make_raw(n=5)
+    with pytest.raises(IndexError):
+        raw.get_many(np.array([0, 5]))
+    with pytest.raises(IndexError):
+        raw.get_many(np.array([-1]))
+
+
 def test_create_requires_2d():
     disk = SimulatedDisk()
     with pytest.raises(ValueError):
