@@ -17,6 +17,7 @@ Examples::
     python -m repro.bench spilled --records 200000 --runs 8 --workers 4
     python -m repro.bench arena --n 50000 --records 200000 --workers 1 2
     python -m repro.bench fetch --n 50000
+    python -m repro.bench faults --n 50000 --repeats 5
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
 
@@ -41,6 +42,7 @@ from .harness import (
     run_arena_sweep,
     run_batch_query_experiment,
     run_build_sweep,
+    run_fault_overhead_sweep,
     run_fetch_sweep,
     run_merge_engine_sweep,
     run_parallel_build_sweep,
@@ -208,6 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fetch.add_argument("--seed", type=int, default=7)
 
+    faults = commands.add_parser(
+        "faults",
+        help="fault-layer overhead (hooks disabled) + crash-recovery smoke",
+    )
+    faults.add_argument(
+        "--n", type=int, nargs="+", default=[50_000],
+        help="series counts for the disabled-hook overhead cells",
+    )
+    faults.add_argument("--length", type=int, default=128)
+    faults.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the gather visits",
+    )
+    faults.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per cell (best-of)",
+    )
+    faults.add_argument(
+        "--recovery-seeds", type=int, default=4,
+        help="seeded crash/recover schedules per page store",
+    )
+    faults.add_argument("--seed", type=int, default=7)
+
     space = commands.add_parser("space", help="index size and fill factors")
     _add_dataset_arguments(space)
 
@@ -230,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--workers parallelizes the batched engine; add --batch")
     spec = (
         _spec(args)
-        if args.command not in ("merge", "spilled", "arena", "fetch")
+        if args.command not in ("merge", "spilled", "arena", "fetch", "faults")
         else None
     )
     if args.command == "build":
@@ -304,6 +329,23 @@ def main(argv: list[str] | None = None) -> int:
             columns=[
                 "workload", "store", "n_series", "cores",
                 "loop_s", "vector_s", "speedup", "identical", "io_identical",
+            ],
+        )
+    elif args.command == "faults":
+        rows = run_fault_overhead_sweep(
+            args.n,
+            length=args.length,
+            fetch_fraction=args.fetch_fraction,
+            seed=args.seed,
+            repeats=args.repeats,
+            recovery_seeds=args.recovery_seeds,
+        )
+        print_experiment(
+            "fault layer: disabled-hook overhead + recovery smoke",
+            rows,
+            columns=[
+                "workload", "store", "n_series", "cores",
+                "bare_s", "hooked_s", "overhead", "identical", "io_identical",
             ],
         )
     elif args.command == "space":

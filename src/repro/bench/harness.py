@@ -1280,3 +1280,219 @@ def run_update_workload(
                 }
             )
     return rows
+
+
+def _drive_fault_fetch_pass(
+    store: str,
+    n_series: int,
+    length: int,
+    fetch_fraction: float,
+    seed: int,
+    hooked: bool,
+    page_size: int = PAGE_SIZE,
+) -> dict:
+    """One timed headline gather, bare or through a disabled fault hook.
+
+    ``hooked=True`` routes every read through ``FaultyDevice(disk,
+    plan=None)`` — the pure-forwarding wrapper a production deployment
+    would leave in place — so the sweep can price the disabled
+    injection seam on the exact skip-sequential fetch path the query
+    engines use.
+    """
+    import time
+
+    from ..storage.faults import FaultyDevice
+
+    disk = SimulatedDisk(page_size=page_size, store=store)
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n_series, length)).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    n_fetch = max(1, int(n_series * fetch_fraction))
+    idxs = np.sort(rng.choice(n_series, size=n_fetch, replace=False))
+    view = raw.view(FaultyDevice(disk, plan=None)) if hooked else raw
+    disk.reset_stats()
+    disk.park_head()
+    t0 = time.perf_counter()
+    fetched = view.get_many(idxs)
+    wall = time.perf_counter() - t0
+    return {
+        "fetched": fetched,
+        "wall_s": wall,
+        "stats": disk.stats,
+        "head": disk.head_position,
+    }
+
+
+def _drive_recovery_smoke(store: str, seed: int) -> dict:
+    """One injected-crash + recovery cycle; asserts the oracle contract.
+
+    A small durable LSM takes batches through a seeded fault schedule
+    until something fires (or the workload ends), recovers from the
+    device, and must answer exactly like a fault-free index rebuilt
+    from the acknowledged rows.
+    """
+    import time
+
+    from ..core.lsm import CoconutLSM
+    from ..storage.faults import (
+        CorruptionError,
+        FaultError,
+        FaultPlan,
+        FaultyDevice,
+    )
+
+    length = 64
+    config = SAXConfig(series_length=length, word_length=8, cardinality=16)
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((150, length)).astype(np.float32)
+    extra = rng.standard_normal((150, length)).astype(np.float32)
+    queries = rng.standard_normal((3, length))
+
+    def fresh(device_plan):
+        disk = SimulatedDisk(page_size=2048, store=store)
+        raw = RawSeriesFile(disk, length)
+        raw.append_batch(base)
+        device = disk if device_plan is None else FaultyDevice(disk, device_plan)
+        return disk, raw, device
+
+    plan = FaultPlan(
+        seed=seed, p_transient_write=0.02, p_torn_write=0.01,
+        p_bitflip_write=0.02, p_crash_write=0.01, max_faults=4,
+    )
+    disk, raw, device = fresh(plan)
+    faults = 0
+    t0 = time.perf_counter()
+    try:
+        ix = CoconutLSM(device, 1 << 10, config, durability="wal")
+        ix.build(raw)
+        for lo in range(0, len(extra), 25):
+            ix.insert_batch(extra[lo : lo + 25])
+    except FaultError:
+        pass
+    faults = device.faults_injected
+    try:
+        recovered = CoconutLSM.recover(disk, raw)
+    except CorruptionError:
+        raw.truncate(len(base))
+        recovered = CoconutLSM(disk, 1 << 10, config, durability="wal", wal_id=2)
+        recovered.build(raw)
+    wall = time.perf_counter() - t0
+    # Oracle: fault-free replay of exactly the acknowledged rows.
+    disk2, raw2, _ = fresh(None)
+    oracle = CoconutLSM(disk2, 1 << 10, config, durability="wal")
+    oracle.build(raw2)
+    acked = extra[: raw.n_series - len(base)]
+    for lo in range(0, len(acked), 25):
+        oracle.insert_batch(acked[lo : lo + 25])
+    identical = True
+    for q in queries:
+        a, b = recovered.exact_search(q), oracle.exact_search(q)
+        identical = identical and (
+            a.answer_idx == b.answer_idx and a.distance == b.distance
+        )
+    if not identical:
+        raise AssertionError(
+            f"recovery divergence on the {store} store at seed {seed}"
+        )
+    return {
+        "faults": faults,
+        "acked_rows": int(raw.n_series),
+        "rebuilt_runs": recovered.n_rebuilt_runs,
+        "wall_s": wall,
+        "identical": identical,
+    }
+
+
+def run_fault_overhead_sweep(
+    n_series_list: list[int],
+    length: int = 128,
+    fetch_fraction: float = 0.3,
+    seed: int = 7,
+    repeats: int = 5,
+    recovery_seeds: int = 4,
+) -> list[dict]:
+    """Price the disabled fault hook; smoke-test injected recovery.
+
+    ``overhead`` cells run the headline skip-sequential gather twice
+    per page store — bare device vs ``FaultyDevice(plan=None)`` — and
+    assert fetched records, classified :class:`DiskStats` and head
+    positions bit-identical before reporting the wall-clock ratio
+    (best of ``repeats``; the <5% gate is armed by
+    ``benchmarks/bench_faults.py`` at the headline scale only).
+    ``recovery`` cells run seeded crash/recover cycles on both stores
+    and assert the recovered index answers exactly like the
+    acknowledged-rows oracle.
+    """
+    import os
+
+    rows = []
+    cores = os.cpu_count() or 1
+    for n_series in n_series_list:
+        for store in ("dict", "arena"):
+            bare = min(
+                (
+                    _drive_fault_fetch_pass(
+                        store, n_series, length, fetch_fraction, seed, False
+                    )
+                    for _ in range(repeats)
+                ),
+                key=lambda run: run["wall_s"],
+            )
+            hooked = min(
+                (
+                    _drive_fault_fetch_pass(
+                        store, n_series, length, fetch_fraction, seed, True
+                    )
+                    for _ in range(repeats)
+                ),
+                key=lambda run: run["wall_s"],
+            )
+            identical = bool(
+                np.array_equal(bare["fetched"], hooked["fetched"])
+            )
+            io_identical = (
+                bare["stats"] == hooked["stats"]
+                and bare["head"] == hooked["head"]
+            )
+            if not identical or not io_identical:
+                raise AssertionError(
+                    f"disabled fault hook changed the fetch at {n_series} "
+                    f"series on the {store} store: identical={identical}, "
+                    f"io_identical={io_identical}"
+                )
+            rows.append(
+                {
+                    "workload": "overhead",
+                    "store": store,
+                    "n_series": n_series,
+                    "cores": cores,
+                    "bare_s": bare["wall_s"],
+                    "hooked_s": hooked["wall_s"],
+                    "overhead": (
+                        hooked["wall_s"] / bare["wall_s"]
+                        if bare["wall_s"]
+                        else 1.0
+                    ),
+                    "identical": identical,
+                    "io_identical": io_identical,
+                }
+            )
+    for store in ("dict", "arena"):
+        for smoke_seed in range(recovery_seeds):
+            smoke = _drive_recovery_smoke(store, seed + smoke_seed)
+            rows.append(
+                {
+                    "workload": "recovery",
+                    "store": store,
+                    "n_series": smoke["acked_rows"],
+                    "cores": cores,
+                    "bare_s": 0.0,
+                    "hooked_s": smoke["wall_s"],
+                    "overhead": 1.0,
+                    "identical": smoke["identical"],
+                    "io_identical": True,
+                    "faults": smoke["faults"],
+                    "rebuilt_runs": smoke["rebuilt_runs"],
+                }
+            )
+    return rows

@@ -45,6 +45,8 @@ experiment measures and `bench_ablation_lsm_updates.py` revisits.
 
 from __future__ import annotations
 
+import logging
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,26 +54,55 @@ import numpy as np
 from ..indexes.base import BuildReport, Measurement, QueryResult, SeriesIndex
 from ..series.distance import early_abandon_euclidean_block
 from ..storage.disk import SimulatedDisk
+from ..storage.faults import CorruptionError, FaultError
 from ..storage.merge import merge_presorted
 from ..storage.pager import PagedFile
 from ..storage.seriesfile import RawSeriesFile
 from ..summaries.sax import SAXConfig, sax_words
 from .invsax import deinterleave_keys, interleave_words, query_key
 from .sims import sims_scan
+from .wal import (
+    RunMeta,
+    WriteAheadLog,
+    parse_run_footer,
+    replay_manifest,
+    run_footer,
+    scavenge_frames,
+)
+
+logger = logging.getLogger("repro.core.lsm")
 
 #: Compaction merge strategies (the argsort oracle re-sorts instead of
 #: merging; it is kept for equivalence testing).
 LSM_MERGE_ENGINES = ("vectorized", "argsort")
 
+#: Durability modes: ``None`` keeps the original volatile behaviour;
+#: ``"wal"`` adds checksummed run footers + the write-ahead manifest
+#: (see :mod:`repro.core.wal` and ``docs/robustness.md``).
+LSM_DURABILITY_MODES = (None, "wal")
+
 
 @dataclass
 class _Run:
-    """One sorted, contiguous run of (key, offset) records."""
+    """One sorted, contiguous run of (key, offset) records.
+
+    ``data_pages`` is the page count of the record region — equal to
+    ``file.n_pages`` for volatile runs, one less for durable runs,
+    whose final page is the checksummed footer.  Durable runs also
+    carry their manifest identity: the ``RUN_ADD``/``COMPACT`` LSN
+    that committed them and the contiguous raw-offset range
+    ``[off_lo, off_hi)`` they summarize (what lets recovery rebuild a
+    corrupt run from the raw file alone).
+    """
 
     file: PagedFile
     keys: np.ndarray  # in-memory summary mirror (S<k>), sorted
     offsets: np.ndarray
     level: int
+    data_pages: int = 0
+    wal_lsn: int = -1
+    off_lo: int = 0
+    off_hi: int = 0
 
     @property
     def n_records(self) -> int:
@@ -93,6 +124,8 @@ class CoconutLSM(SeriesIndex):
         workers: int = 1,
         pool_kind: str = "thread",
         merge_engine: str = "vectorized",
+        durability: "str | None" = None,
+        wal_id: int = 1,
     ):
         super().__init__(disk, memory_bytes)
         if size_ratio < 2:
@@ -102,17 +135,28 @@ class CoconutLSM(SeriesIndex):
                 f"merge_engine must be one of {LSM_MERGE_ENGINES}, "
                 f"got {merge_engine!r}"
             )
+        if durability not in LSM_DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {LSM_DURABILITY_MODES}, "
+                f"got {durability!r}"
+            )
         self.config = config or SAXConfig()
         self.size_ratio = size_ratio
         self.workers = max(1, int(workers))
         self.pool_kind = pool_kind
         self.merge_engine = merge_engine
+        self.durability = durability
+        self.wal_id = int(wal_id)
+        self._wal: WriteAheadLog | None = None
         self._runs: list[_Run] = []
         self._mem_keys: list[np.ndarray] = []
         self._mem_offsets: list[np.ndarray] = []
+        self._mem_lsns: list[int] = []
         self._mem_records = 0
         self.n_flushes = 0
         self.n_merges = 0
+        self.n_rebuilt_runs = 0
+        self.n_degraded_compactions = 0
 
     # ------------------------------------------------------------------
     @property
@@ -134,18 +178,17 @@ class CoconutLSM(SeriesIndex):
         """Bulk load: one sorted bottom-level run (same as CTree's sort)."""
         self.raw = raw
         with Measurement(self.disk) as measure:
-            if raw.n_series:
-                keys_parts, offset_parts = [], []
-                for start, block in raw.scan():
-                    words = sax_words(block, self.config)
-                    keys_parts.append(interleave_words(words, self.config))
-                    offset_parts.append(
-                        np.arange(start, start + len(block), dtype=np.int64)
-                    )
-                keys = np.concatenate(keys_parts)
-                offsets = np.concatenate(offset_parts)
-                order = np.argsort(keys, kind="stable")
-                self._write_run(keys[order], offsets[order], level=10**6)
+            if self.durability == "wal":
+                self._wal = WriteAheadLog(self.disk, wal_id=self.wal_id)
+                self._wal.append_meta(
+                    raw.n_series,
+                    self.memory_bytes,
+                    self.size_ratio,
+                    self.config.series_length,
+                    self.config.word_length,
+                    self.config.cardinality,
+                )
+            self._bulk_load(raw)
         self.built = True
         return BuildReport(
             index_name=self.name,
@@ -158,6 +201,27 @@ class CoconutLSM(SeriesIndex):
             avg_leaf_fill=1.0,
         )
 
+    def _bulk_load(self, raw: RawSeriesFile) -> None:
+        """Sort the whole raw file into the bottom-level run."""
+        if not raw.n_series:
+            return
+        keys_parts, offset_parts = [], []
+        for start, block in raw.scan():
+            words = sax_words(block, self.config)
+            keys_parts.append(interleave_words(words, self.config))
+            offset_parts.append(
+                np.arange(start, start + len(block), dtype=np.int64)
+            )
+        keys = np.concatenate(keys_parts)
+        offsets = np.concatenate(offset_parts)
+        order = np.argsort(keys, kind="stable")
+        self._write_run(
+            keys[order],
+            offsets[order],
+            level=10**6,
+            manifest=("run", 0, raw.n_series, -1),
+        )
+
     def insert_batch(self, data: np.ndarray) -> BuildReport:
         raw = self._require_built()
         data = np.asarray(data, dtype=np.float32)
@@ -165,6 +229,15 @@ class CoconutLSM(SeriesIndex):
             first = raw.append_batch(data)
             words = sax_words(data, self.config)
             keys = interleave_words(words, self.config)
+            if self._wal is not None:
+                # The commit point: raw rows are fully on the device
+                # (the append above), so once this frame verifies, the
+                # batch is acknowledged and recovery can always rebuild
+                # its keys from the raw file.  A fault before or during
+                # the append leaves the batch unacknowledged — recovery
+                # truncates the raw file back to the acked watermark.
+                lsn = self._wal.append_batch(first, first + len(data))
+                self._mem_lsns.append(lsn)
             self._mem_keys.append(keys)
             self._mem_offsets.append(
                 np.arange(first, first + len(data), dtype=np.int64)
@@ -189,25 +262,77 @@ class CoconutLSM(SeriesIndex):
         keys = np.concatenate(self._mem_keys)
         offsets = np.concatenate(self._mem_offsets)
         order = np.argsort(keys, kind="stable")
-        self._write_run(keys[order], offsets[order], level=0)
+        manifest = None
+        if self._wal is not None:
+            # Memtable batches are consecutive raw ranges in insertion
+            # order, so the flushed run covers one contiguous range and
+            # its RUN_ADD retires every absorbed BATCH frame at once.
+            manifest = (
+                "run",
+                int(self._mem_offsets[0][0]),
+                int(self._mem_offsets[-1][-1]) + 1,
+                self._mem_lsns[-1] if self._mem_lsns else -1,
+            )
+        self._write_run(keys[order], offsets[order], level=0, manifest=manifest)
         self._mem_keys.clear()
         self._mem_offsets.clear()
+        self._mem_lsns.clear()
         self._mem_records = 0
         self.n_flushes += 1
         self._maybe_compact()
 
-    def _write_run(
-        self, keys: np.ndarray, offsets: np.ndarray, level: int
-    ) -> None:
+    def _pack_records(self, keys: np.ndarray, offsets: np.ndarray) -> bytes:
         dtype = np.dtype([("k", self.config.key_dtype), ("off", "<i8")])
         rows = np.zeros(len(keys), dtype=dtype)
         rows["k"] = keys
         rows["off"] = offsets
-        file = PagedFile(self.disk, name=f"lsm-L{level}-run")
-        file.write_stream(rows.tobytes())
-        self._runs.append(
-            _Run(file=file, keys=keys, offsets=offsets, level=level)
+        return rows.tobytes()
+
+    def _commit_run(self, run: _Run, payload: bytes, manifest) -> None:
+        """Footer + manifest frame for a fully-written durable run.
+
+        Called only after ``run.file`` holds the complete record
+        payload: the footer page is appended (torn-write detector),
+        then the ``RUN_ADD``/``COMPACT`` frame commits the run — the
+        atomic manifest swap.  A crash anywhere before the frame
+        verifies leaves the previous manifest state intact.
+        """
+        kind, off_lo, off_hi, extra = manifest
+        crc = zlib.crc32(payload)
+        run.file.grow(1)
+        run.file.write(run.data_pages, run_footer(run.n_records, crc))
+        if run.file.n_extents != 1:
+            raise CorruptionError(
+                f"durable run {run.file.name!r} is not physically contiguous"
+            )
+        meta = RunMeta(
+            level=run.level,
+            first_page=run.file.physical_page(0),
+            n_pages=run.file.n_pages,
+            n_records=run.n_records,
+            crc=crc,
+            off_lo=off_lo,
+            off_hi=off_hi,
+            covers_lsn=extra if kind == "run" else -1,
         )
+        if kind == "run":
+            run.wal_lsn = self._wal.append_run(meta)
+        else:
+            run.wal_lsn = self._wal.append_compact(meta, replaced=extra)
+        run.off_lo, run.off_hi = off_lo, off_hi
+
+    def _write_run(
+        self, keys: np.ndarray, offsets: np.ndarray, level: int, manifest=None
+    ) -> None:
+        payload = self._pack_records(keys, offsets)
+        file = PagedFile(self.disk, name=f"lsm-L{level}-run")
+        data_pages = file.write_stream(payload)
+        run = _Run(
+            file=file, keys=keys, offsets=offsets, level=level, data_pages=data_pages
+        )
+        if self._wal is not None and manifest is not None:
+            self._commit_run(run, payload, manifest)
+        self._runs.append(run)
 
     def _maybe_compact(self) -> None:
         """Tiering: merge a level once it holds ``size_ratio`` runs."""
@@ -229,16 +354,40 @@ class CoconutLSM(SeriesIndex):
                 and len(group) > 1
                 and self.merge_engine != "argsort"
             ):
-                self._sharded_compact(group, level)
+                try:
+                    self._sharded_compact(group, level)
+                except FaultError as error:
+                    # Self-healing: a device fault inside the sharded
+                    # session aborted it (parent unfenced, nothing
+                    # reconciled), so the serial merge on the parent
+                    # replays the compaction from scratch.
+                    logger.warning(
+                        "sharded compaction failed (%s); degrading to the "
+                        "serial merge",
+                        error,
+                    )
+                    self.n_degraded_compactions += 1
+                    self._serial_compact(group, level)
             else:
-                # Serial merge: read every input run (sequential),
-                # write one output run (sequential) at the next level.
-                for run in group:
-                    run.file.read_stream(0, run.file.n_pages)
-                    self._runs.remove(run)
-                keys, offsets = self._merge_group(group)
-                self._write_run(keys, offsets, level=level + 1)
+                self._serial_compact(group, level)
             self.n_merges += 1
+
+    def _serial_compact(self, group: "list[_Run]", level: int) -> None:
+        # Serial merge: read every input run (sequential), write one
+        # output run (sequential) at the next level.
+        for run in group:
+            run.file.read_stream(0, run.data_pages)
+            self._runs.remove(run)
+        keys, offsets = self._merge_group(group)
+        manifest = None
+        if self._wal is not None:
+            manifest = (
+                "compact",
+                min(run.off_lo for run in group),
+                max(run.off_hi for run in group),
+                [run.wal_lsn for run in group],
+            )
+        self._write_run(keys, offsets, level=level + 1, manifest=manifest)
 
     def _sharded_compact(self, group: "list[_Run]", level: int) -> None:
         """Compaction on the sharded storage layer (``workers > 1``).
@@ -267,17 +416,29 @@ class CoconutLSM(SeriesIndex):
             pool_kind=self.pool_kind,
             collect="records",
             out_name=f"lsm-L{level + 1}-run",
+            wrap_device=getattr(self, "_compact_wrap_device", None),
         )
+        new_run = _Run(
+            file=result.file,
+            keys=result.keys,
+            offsets=result.payloads,
+            level=level + 1,
+            data_pages=result.file.n_pages,
+        )
+        if self._wal is not None:
+            # The shards wrote the records; the coordinator appends the
+            # footer and commits the swap on the (detached) parent.
+            payload = self._pack_records(new_run.keys, new_run.offsets)
+            manifest = (
+                "compact",
+                min(run.off_lo for run in group),
+                max(run.off_hi for run in group),
+                [run.wal_lsn for run in group],
+            )
+            self._commit_run(new_run, payload, manifest)
         for run in group:
             self._runs.remove(run)
-        self._runs.append(
-            _Run(
-                file=result.file,
-                keys=result.keys,
-                offsets=result.payloads,
-                level=level + 1,
-            )
-        )
+        self._runs.append(new_run)
 
     def _merge_group(
         self, group: "list[_Run]"
@@ -318,7 +479,7 @@ class CoconutLSM(SeriesIndex):
         rec = self._record_bytes
         first_page = start * rec // self.disk.page_size
         last_page = min(
-            run.file.n_pages - 1, max(first_page, (stop * rec) // self.disk.page_size)
+            run.data_pages - 1, max(first_page, (stop * rec) // self.disk.page_size)
         )
         if read_window is None:
             run.file.read_stream(first_page, last_page - first_page + 1)
@@ -511,6 +672,148 @@ class CoconutLSM(SeriesIndex):
             return fetch
 
         return words, make_fetch
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        disk: SimulatedDisk,
+        raw: RawSeriesFile,
+        wal_id: "int | None" = None,
+        workers: int = 1,
+        pool_kind: str = "thread",
+        merge_engine: str = "vectorized",
+    ) -> "CoconutLSM":
+        """Rebuild a durable index from the device after a crash.
+
+        Scavenges the write-ahead manifest (no anchors; every allocated
+        page is scanned for valid frames), replays the contiguous LSN
+        prefix, truncates the raw file to the acknowledged watermark,
+        verifies every live run against its checksum — rebuilding any
+        corrupt run from the raw file, the durable source of truth —
+        and re-derives the memtable from the uncovered ``BATCH``
+        frames.  The result is bit-identical in content and answers to
+        an index rebuilt from the acknowledged batches alone; see
+        ``docs/robustness.md`` for the exact contract.
+        """
+        frames = scavenge_frames(disk, wal_id=wal_id)
+        state = replay_manifest(frames)
+        config = SAXConfig(
+            series_length=state.series_length,
+            word_length=state.word_length,
+            cardinality=state.cardinality,
+        )
+        index = cls(
+            disk,
+            state.memory_bytes,
+            config=config,
+            size_ratio=state.size_ratio,
+            workers=workers,
+            pool_kind=pool_kind,
+            merge_engine=merge_engine,
+            durability="wal",
+            wal_id=state.wal_id,
+        )
+        index.raw = raw
+        raw.truncate(min(raw.n_series, state.watermark))
+        if raw.n_series != state.watermark:
+            raise CorruptionError(
+                f"raw file holds {raw.n_series} series but the manifest "
+                f"acknowledged {state.watermark}"
+            )
+        # The recovered log continues the old one: same wal_id, next
+        # LSN past everything scavenged, a fresh frame file.  Replay is
+        # idempotent, so frames from both files compose on the next
+        # recovery.
+        index._wal = WriteAheadLog(
+            disk, wal_id=state.wal_id, start_lsn=state.max_lsn + 1
+        )
+        for lsn in sorted(state.runs):
+            meta = state.runs[lsn]
+            file = PagedFile.from_extent(
+                disk, meta.first_page, meta.n_pages, name=f"lsm-L{meta.level}-run"
+            )
+            loaded = index._load_run(file, meta)
+            if loaded is None:
+                loaded = index._rebuild_run(file, meta)
+                index.n_rebuilt_runs += 1
+            keys, offsets = loaded
+            index._runs.append(
+                _Run(
+                    file=file,
+                    keys=keys,
+                    offsets=offsets,
+                    level=meta.level,
+                    data_pages=meta.data_pages,
+                    wal_lsn=lsn,
+                    off_lo=meta.off_lo,
+                    off_hi=meta.off_hi,
+                )
+            )
+        if state.n_build and not any(
+            meta.off_lo == 0 for meta in state.runs.values()
+        ):
+            # The crash hit the bulk build after its META frame but
+            # before the bottom-level run committed (the bottom run is
+            # never compacted, so a committed one always survives as
+            # the off_lo == 0 entry).  Nothing else can have committed
+            # yet; redo the bulk load from the raw file.
+            index._bulk_load(raw)
+        for lsn, off_lo, off_hi in state.batches:
+            offsets = np.arange(off_lo, off_hi, dtype=np.int64)
+            data = raw.get_many(offsets)
+            keys = interleave_words(sax_words(data, config), config)
+            index._mem_keys.append(keys)
+            index._mem_offsets.append(offsets)
+            index._mem_lsns.append(lsn)
+            index._mem_records += len(offsets)
+        index.built = True
+        return index
+
+    def _load_run(self, file: PagedFile, meta: RunMeta):
+        """Checksum-verified ``(keys, offsets)`` of a run, else ``None``."""
+        footer = parse_run_footer(file.read(meta.data_pages))
+        if footer is None or footer != (meta.n_records, meta.crc):
+            return None
+        blob = bytes(file.read_stream(0, meta.data_pages)) if meta.data_pages else b""
+        payload = blob[: meta.n_records * self._record_bytes]
+        if zlib.crc32(payload) != meta.crc:
+            return None
+        dtype = np.dtype([("k", self.config.key_dtype), ("off", "<i8")])
+        rows = np.frombuffer(payload, dtype=dtype, count=meta.n_records)
+        return rows["k"].copy(), rows["off"].astype(np.int64)
+
+    def _rebuild_run(self, file: PagedFile, meta: RunMeta):
+        """Rewrite a corrupt run from the raw file (bit-flip recovery).
+
+        Every run summarizes one contiguous raw range, and within equal
+        keys records land in ascending offset order (runs are stable
+        sorts/merges of consecutive ranges), so recomputing the keys
+        for ``[off_lo, off_hi)`` and stable-sorting reproduces the run
+        byte for byte — verified against the manifest checksum before
+        the rewrite is accepted.
+        """
+        offsets = np.arange(meta.off_lo, meta.off_hi, dtype=np.int64)
+        if len(offsets) != meta.n_records:
+            raise CorruptionError(
+                f"run at page {meta.first_page} covers {len(offsets)} records "
+                f"but the manifest recorded {meta.n_records}"
+            )
+        data = self.raw.get_many(offsets)
+        keys = interleave_words(sax_words(data, self.config), self.config)
+        order = np.argsort(keys, kind="stable")
+        keys, offsets = keys[order], offsets[order]
+        payload = self._pack_records(keys, offsets)
+        if zlib.crc32(payload) != meta.crc:
+            raise CorruptionError(
+                f"run at page {meta.first_page} cannot be rebuilt: the raw "
+                "file no longer matches the manifest checksum"
+            )
+        file.write_stream(payload)
+        file.write(meta.data_pages, run_footer(meta.n_records, meta.crc))
+        return keys, offsets
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:

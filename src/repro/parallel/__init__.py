@@ -28,6 +28,11 @@ any number of producers.  This package supplies both halves:
   summary scan and every fetched page across the whole batch, plus a
   batched *approximate* executor that groups queries by target leaf so
   each leaf is read once per batch.
+* :mod:`repro.parallel.heal` — self-healing execution of the parallel
+  plans: transient injected device faults retry with capped backoff on
+  a clean (aborted) session, everything else degrades to the serial
+  engines — whose answers and stats are the oracle the parallel paths
+  are property-tested against, so healing never changes the result.
 * :mod:`repro.parallel.query` — the multi-worker version of the
   batched exact engine: the lower-bound scan is range-partitioned
   across a pool and the record fetches stream through per-worker
@@ -43,6 +48,12 @@ the benchmark CLI as ``--workers`` / ``--batch``.
 """
 
 from .batch import approx_query_batch, batched_exact_knn, build_batch_report
+from .heal import (
+    HEAL_BACKOFF_CAP_S,
+    HEAL_BACKOFF_S,
+    HEAL_RETRIES,
+    run_self_healing,
+)
 from .merge import (
     AUTO_POOL_THREAD_BYTES,
     choose_pool_kind,
@@ -77,6 +88,9 @@ from .summarize import (
 __all__ = [
     "AUTO_POOL_THREAD_BYTES",
     "DEFAULT_CHUNK_SERIES",
+    "HEAL_BACKOFF_CAP_S",
+    "HEAL_BACKOFF_S",
+    "HEAL_RETRIES",
     "ParallelSummarizer",
     "ShardedMergeResult",
     "approx_query_batch",
@@ -94,6 +108,7 @@ __all__ = [
     "partition_runs",
     "resolve_workers",
     "run_cut_positions",
+    "run_self_healing",
     "sample_splitters",
     "sharded_spill_merge",
     "sharded_stream_merge",

@@ -1,0 +1,109 @@
+"""Self-healing execution of parallel I/O plans.
+
+The parallel engines (:mod:`repro.parallel.query`,
+:mod:`repro.parallel.spill`) run their partitions inside a
+:class:`repro.storage.disk.ShardedDisk` session.  When a worker raises
+an injected device fault (:mod:`repro.storage.faults`), the session
+``__exit__`` *aborts* — every shard's private state is discarded and
+the parent device is unfenced with its head untouched — so a failed
+attempt is invisible: it contributes nothing to the parent's pages or
+reconciled :class:`~repro.storage.cost.DiskStats`.
+
+That abort guarantee is what makes retry sound.  :func:`run_self_healing`
+layers the policy on top:
+
+* **transient** faults (:class:`~repro.storage.faults.TransientIOError`)
+  are retried up to ``retries`` times with capped exponential backoff —
+  a fresh attempt re-issues the same deterministic I/O plan, so a
+  successful retry is bit-identical to a run that never faulted;
+* **permanent / corruption / crash** faults
+  (:class:`~repro.storage.faults.PermanentIOError`,
+  :class:`~repro.storage.faults.CorruptionError`,
+  :class:`~repro.storage.faults.DeviceCrash`) skip straight to the
+  ``fallback`` — retrying a deterministic plan against a deterministic
+  fault would fail identically;
+* when the ``fallback`` is ``None`` the last fault propagates and the
+  *caller* degrades (e.g. ``CoconutLSM`` falls back to its serial
+  compaction when :func:`repro.parallel.spill.sharded_spill_merge`
+  gives up).
+
+Degradation targets are the serial engines, whose answers, tie order
+and stats are the oracle the parallel engines are property-tested
+against — so healing never changes *what* is computed, only *how*.
+
+Fault seams
+-----------
+The engines accept a ``wrap_device(shard, partition, attempt)``
+callable and route every partition's I/O through its return value.
+Tests pass a factory building :class:`~repro.storage.faults.
+FaultyDevice` wrappers; because the factory is called afresh per
+attempt, each attempt's fault plans restart at operation index zero —
+the final reconciled stats are a pure function of the *successful*
+attempt's plan, identical under any pool interleaving.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from ..storage.faults import FaultError, TransientIOError
+
+__all__ = [
+    "HEAL_RETRIES",
+    "HEAL_BACKOFF_S",
+    "HEAL_BACKOFF_CAP_S",
+    "run_self_healing",
+]
+
+logger = logging.getLogger("repro.parallel")
+
+#: Transient-fault retries before degrading (attempts = retries + 1).
+HEAL_RETRIES = 2
+#: Base backoff before the first retry; doubles per retry.
+HEAL_BACKOFF_S = 0.002
+#: Ceiling on any single backoff sleep.
+HEAL_BACKOFF_CAP_S = 0.05
+
+
+def run_self_healing(
+    attempt,
+    fallback=None,
+    retries: int = HEAL_RETRIES,
+    backoff_s: float = HEAL_BACKOFF_S,
+    backoff_cap_s: float = HEAL_BACKOFF_CAP_S,
+    label: str = "parallel plan",
+):
+    """Run ``attempt(attempt_index)``, retrying transients, else degrade.
+
+    ``attempt`` must be restartable: each call re-executes the full
+    plan from scratch against a clean parent (the aborted session of a
+    failed attempt leaves no trace).  ``fallback()`` — when given — is
+    invoked after a non-transient fault or once transient retries are
+    exhausted; with no fallback the last fault is re-raised.
+
+    Only :class:`~repro.storage.faults.FaultError` is healed.  Any
+    other exception (a bug, a bad argument) propagates immediately:
+    masking it behind a retry or a silent serial fallback would hide
+    real defects.
+    """
+    last: "FaultError | None" = None
+    for index in range(retries + 1):
+        try:
+            return attempt(index)
+        except TransientIOError as error:
+            last = error
+            logger.warning(
+                "%s: transient device fault on attempt %d/%d: %s",
+                label, index + 1, retries + 1, error,
+            )
+            if index < retries:
+                time.sleep(min(backoff_cap_s, backoff_s * (2 ** index)))
+        except FaultError as error:
+            last = error
+            logger.warning("%s: non-retryable device fault: %s", label, error)
+            break
+    if fallback is None:
+        raise last
+    logger.warning("%s: degrading to the serial engine", label)
+    return fallback()

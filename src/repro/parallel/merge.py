@@ -31,12 +31,20 @@ inline with zero overhead.
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import logging
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 import numpy as np
 
 from ..storage.merge import merge_presorted
 from .summarize import resolve_workers
+
+logger = logging.getLogger("repro.parallel")
 
 #: Strided samples taken per run when proposing splitters.
 SPLITTER_SAMPLES_PER_RUN = 16
@@ -172,8 +180,42 @@ def _make_executor(workers: int, kind: str) -> Executor | None:
         return ThreadPoolExecutor(max_workers=workers)
     try:
         return ProcessPoolExecutor(max_workers=workers)
-    except (OSError, ValueError):  # pragma: no cover - sandboxes
+    except (OSError, ValueError, NotImplementedError) as error:
+        # pragma: no cover - sandboxed environments
+        # Sandboxes without fork/semaphore support land here; degrade
+        # to threads *loudly* — the work units release the GIL, so the
+        # result is identical, only the parallelism regime changes.
+        logger.warning(
+            "process pool unavailable (%s); degrading to a thread pool", error
+        )
         return ThreadPoolExecutor(max_workers=workers)
+
+
+def _pool_map(fn, arg_columns: list, workers: int, kind: str) -> list:
+    """``executor.map`` with pool healing; bit-identical to serial.
+
+    Runs ``fn`` over the argument columns on the pool
+    :func:`_make_executor` resolves (inline when it yields none).  A
+    pool that *breaks mid-map* — a worker process killed under memory
+    pressure or by a sandbox — raises :class:`BrokenExecutor`; since
+    every work unit here is a pure function, the whole map is retried
+    once on a thread pool with a logged warning instead of failing the
+    query or merge.  Any exception raised by ``fn`` itself propagates
+    unchanged — healing covers pool infrastructure, not user code.
+    """
+    executor = _make_executor(workers, kind)
+    if executor is None:
+        return [fn(*row) for row in zip(*arg_columns)]
+    try:
+        return list(executor.map(fn, *arg_columns))
+    except BrokenExecutor as error:
+        logger.warning(
+            "worker pool broke mid-map (%s); retrying once on threads", error
+        )
+    finally:
+        executor.shutdown(wait=True)
+    with ThreadPoolExecutor(max_workers=workers) as retry:
+        return list(retry.map(fn, *arg_columns))
 
 
 def parallel_merge_runs(
@@ -208,15 +250,7 @@ def parallel_merge_runs(
     if workers <= 1 or len(splitters) == 0:
         return merge_presorted(runs)
     parts = partition_runs(runs, splitters)
-    executor = _make_executor(workers, kind)
-    try:
-        if executor is None:
-            merged = [merge_partition(part) for part in parts]
-        else:
-            merged = list(executor.map(merge_partition, parts))
-    finally:
-        if executor is not None:
-            executor.shutdown(wait=True)
+    merged = _pool_map(merge_partition, [parts], workers, kind)
     merged = [pair for pair in merged if pair is not None]
     if len(merged) == 1:
         return merged[0]

@@ -83,7 +83,8 @@ from .batch import (
     seeded_heaps,
     walk_candidate_blocks,
 )
-from .merge import _make_executor, choose_pool_kind_for_bytes
+from .heal import run_self_healing
+from .merge import _pool_map, choose_pool_kind_for_bytes
 from .summarize import resolve_workers
 
 #: Pages cached by each fetch worker's shard-scoped buffer pool.  The
@@ -181,19 +182,20 @@ def parallel_lower_bound_scan(
             for lo, hi in ranges
         ]
     else:
-        executor = _make_executor(len(ranges), pool_kind)
-        try:
-            parts = list(
-                executor.map(
-                    _scan_range,
-                    [query_paa] * len(ranges),
-                    [words[lo:hi] for lo, hi in ranges],
-                    [config] * len(ranges),
-                    [thresholds] * len(ranges),
-                )
-            )
-        finally:
-            executor.shutdown(wait=True)
+        # _pool_map heals a broken process pool (retry on threads):
+        # the scan is a pure function of its slice, so the healed
+        # result is bit-identical.
+        parts = _pool_map(
+            _scan_range,
+            [
+                [query_paa] * len(ranges),
+                [words[lo:hi] for lo, hi in ranges],
+                [config] * len(ranges),
+                [thresholds] * len(ranges),
+            ],
+            len(ranges),
+            pool_kind,
+        )
     if not parts:
         return (
             np.empty((len(query_paa), 0)),
@@ -241,6 +243,7 @@ def parallel_batched_exact_knn(
     workers: int | None = 2,
     pool_kind: str = "auto",
     block_records: int = 4096,
+    wrap_device=None,
 ):
     """Exact k-NN for a batch, both SIMS phases on worker pools.
 
@@ -252,6 +255,14 @@ def parallel_batched_exact_knn(
     follows the build convention (``None``/``0`` = all cores, ``1`` =
     the serial engine); ``pool_kind="serial"`` executes the parallel
     plan inline — the replay oracle for the I/O-determinism contract.
+
+    ``wrap_device(shard, partition, attempt)`` is the self-healing
+    fault seam (:mod:`repro.parallel.heal`): each fetch worker's reads
+    route through its return value.  When a worker raises an injected
+    device fault the read-only session aborts (parent unfenced, no
+    stats), transients are retried, and anything else degrades the
+    whole batch to the serial engine — answers and tie order are the
+    serial oracle's either way.
 
     Returns the same ``KNNOutcome`` list as the serial engine, with
     identical ids, distances and tie order for any worker count;
@@ -273,10 +284,10 @@ def parallel_batched_exact_knn(
         seeds = seeds or [[] for _ in range(n_queries)]
         return parallel_batched_exact_knn(
             queries[:half], k, words, config, make_fetch, disk,
-            seeds[:half], workers, pool_kind, block_records,
+            seeds[:half], workers, pool_kind, block_records, wrap_device,
         ) + parallel_batched_exact_knn(
             queries[half:], k, words, config, make_fetch, disk,
-            seeds[half:], workers, pool_kind, block_records,
+            seeds[half:], workers, pool_kind, block_records, wrap_device,
         )
     seeds = seeds or [[] for _ in range(n_queries)]
     heaps = seeded_heaps(n_queries, k, seeds)
@@ -294,10 +305,22 @@ def parallel_batched_exact_knn(
             for chunk in np.array_split(union, min(workers, len(union)))
             if len(chunk)
         ]
-        results = _run_fetch_partitions(
-            disk, chunks, queries, k, mindists, seeds, make_fetch,
-            block_records, pool_kind,
+        results = run_self_healing(
+            lambda attempt_index: _run_fetch_partitions(
+                disk, chunks, queries, k, mindists, seeds, make_fetch,
+                block_records, pool_kind, wrap_device, attempt_index,
+            ),
+            # The sentinel routes degradation out of the helper: the
+            # serial engine redoes the whole batch (scan included) on
+            # the parent device, so its answers are the oracle's by
+            # construction.
+            fallback=lambda: None,
+            label="parallel query fetch",
         )
+        if results is None:
+            return batched_exact_knn(
+                queries, k, words, config, make_fetch(None), seeds, block_records
+            )
         for worker_heaps, worker_visited in results:
             for i in range(n_queries):
                 heaps[i].merge(worker_heaps[i])
@@ -318,12 +341,16 @@ def _run_fetch_partitions(
     make_fetch,
     block_records: int,
     pool_kind: str,
+    wrap_device=None,
+    attempt_index: int = 0,
 ):
     """Run the per-chunk fetch plans on read-only shards.
 
     Threaded unless ``pool_kind="serial"`` (the inline replay); either
     way the shards reconcile into the parent in partition order, so the
-    resulting :class:`DiskStats` are a pure function of the plans.
+    resulting :class:`DiskStats` are a pure function of the plans.  A
+    worker exception aborts the session — parent unfenced, nothing
+    reconciled — which is what makes the caller's retry loop sound.
     """
     session = ShardedDisk(
         disk,
@@ -333,7 +360,12 @@ def _run_fetch_partitions(
     )
 
     def run_partition(p: int):
-        with BufferPool(session.shards[p], QUERY_SHARD_POOL_PAGES) as pool:
+        device = (
+            session.shards[p]
+            if wrap_device is None
+            else wrap_device(session.shards[p], p, attempt_index)
+        )
+        with BufferPool(device, QUERY_SHARD_POOL_PAGES) as pool:
             return _fetch_partition(
                 queries, k, mindists, chunks[p], seeds, make_fetch(pool),
                 block_records,
@@ -347,7 +379,8 @@ def _run_fetch_partitions(
 
 
 def parallel_sims_query_batch(
-    index, batch, prepare_parallel, query_workers, pool_kind: str = "auto"
+    index, batch, prepare_parallel, query_workers, pool_kind: str = "auto",
+    wrap_device=None,
 ) -> BatchReport:
     """Multi-worker ``query_batch`` for SIMS-backed indexes.
 
@@ -374,12 +407,13 @@ def parallel_sims_query_batch(
             seeds=seeds,
             workers=query_workers,
             pool_kind=pool_kind,
+            wrap_device=wrap_device,
         )
     return build_batch_report(outcomes, measure)
 
 
 def parallel_serial_scan_batch(
-    index, batch, query_workers, pool_kind: str = "auto"
+    index, batch, query_workers, pool_kind: str = "auto", wrap_device=None,
 ) -> BatchReport:
     """Multi-worker batched brute-force scan (the SerialScan path).
 
@@ -389,6 +423,11 @@ def parallel_serial_scan_batch(
     Because the heaps retain the k lexicographically smallest
     ``(distance, id)`` pairs, the coordinator merge equals the serial
     single-pass answers exactly — ties included — for any partitioning.
+
+    ``wrap_device`` is the self-healing fault seam (see
+    :func:`parallel_batched_exact_knn`): injected worker faults retry
+    on transients and otherwise degrade to one full-range scan on the
+    parent device — the exact serial plan.
     """
     if pool_kind not in _POOL_KINDS:
         raise ValueError(
@@ -406,8 +445,7 @@ def parallel_serial_scan_batch(
         if hi > lo:
             ranges.append((lo, hi))
 
-    def scan_partition(p: int, device) -> "list[_BoundedMaxHeap]":
-        lo, hi = ranges[p]
+    def scan_range(lo: int, hi: int, device) -> "list[_BoundedMaxHeap]":
         view = raw.view(device)
         local = [_BoundedMaxHeap(k) for _ in queries]
         for start, block in view.scan(start=lo, stop=hi):
@@ -427,30 +465,43 @@ def parallel_serial_scan_batch(
                     heap.offer(float(distances[j]), start + int(j))
         return local
 
+    def attempt(attempt_index: int) -> "list[list[_BoundedMaxHeap]]":
+        session = ShardedDisk(
+            index.disk,
+            [(0, 0)] * len(ranges),
+            names=[f"scan-p{p}" for p in range(len(ranges))],
+            read_only=True,
+        )
+
+        def run(p: int) -> "list[_BoundedMaxHeap]":
+            device = (
+                session.shards[p]
+                if wrap_device is None
+                else wrap_device(session.shards[p], p, attempt_index)
+            )
+            with BufferPool(device, QUERY_SHARD_POOL_PAGES) as pool:
+                return scan_range(*ranges[p], pool)
+
+        with session:
+            if pool_kind == "serial":
+                return [run(p) for p in range(len(ranges))]
+            with ThreadPoolExecutor(max_workers=len(ranges)) as executor:
+                return list(executor.map(run, range(len(ranges))))
+
     heaps = [_BoundedMaxHeap(k) for _ in queries]
     with Measurement(index.disk) as measure:
         if len(ranges) <= 1:
-            results = [scan_partition(p, index.disk) for p in range(len(ranges))]
+            results = [
+                scan_range(*ranges[p], index.disk) for p in range(len(ranges))
+            ]
         else:
-            session = ShardedDisk(
-                index.disk,
-                [(0, 0)] * len(ranges),
-                names=[f"scan-p{p}" for p in range(len(ranges))],
-                read_only=True,
+            results = run_self_healing(
+                attempt,
+                # Degradation is the serial plan itself: one full-range
+                # scan on the parent device.
+                fallback=lambda: [scan_range(0, raw.n_series, index.disk)],
+                label="parallel serial scan",
             )
-
-            def run(p: int) -> "list[_BoundedMaxHeap]":
-                with BufferPool(
-                    session.shards[p], QUERY_SHARD_POOL_PAGES
-                ) as pool:
-                    return scan_partition(p, pool)
-
-            with session:
-                if pool_kind == "serial":
-                    results = [run(p) for p in range(len(ranges))]
-                else:
-                    with ThreadPoolExecutor(max_workers=len(ranges)) as executor:
-                        results = list(executor.map(run, range(len(ranges))))
         for local in results:
             for heap, partial in zip(heaps, local):
                 heap.merge(partial)

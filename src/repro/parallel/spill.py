@@ -69,6 +69,7 @@ from ..storage.merge import (
     merge_stream,
 )
 from ..storage.pager import PagedFile
+from .heal import HEAL_RETRIES, run_self_healing
 from .merge import run_cut_positions, sample_splitters
 
 #: Pages cached by each worker's shard-scoped read pool.  Source reads
@@ -242,6 +243,8 @@ def sharded_spill_merge(
     splitters: np.ndarray | None = None,
     collect: str | None = None,
     out_name: str = "sharded-merge",
+    wrap_device=None,
+    heal_retries: int = HEAL_RETRIES,
 ) -> ShardedMergeResult:
     """Merge spilled runs into one new run via per-partition shards.
 
@@ -267,6 +270,16 @@ def sharded_spill_merge(
         ``"keys"`` returns the merged key column (cascade passes need
         it to cut the next pass); ``"records"`` returns keys and
         payloads (LSM compaction mirrors).
+    wrap_device:
+        Optional ``(shard, partition, attempt) -> device`` fault seam:
+        every partition's I/O is routed through its return value.  When
+        an attempt raises a device fault the session aborts (parent
+        unfenced, output extent untouched) and transients are retried
+        up to ``heal_retries`` times — a successful retry re-issues the
+        same plan against the same pre-allocated extent, so the result
+        and reconciled stats are bit-identical to a fault-free run.
+        Non-transient faults propagate; the caller degrades (e.g.
+        ``CoconutLSM`` falls back to its serial compaction).
     """
     if engine not in MERGE_ENGINES:
         raise ValueError(f"engine must be one of {MERGE_ENGINES}, got {engine!r}")
@@ -294,33 +307,42 @@ def sharded_spill_merge(
         fp = -(-byte_lo // page_size)
         ep = max(fp, byte_hi // page_size)
         extents.append((out_first + fp, ep - fp))
-    session = ShardedDisk(
-        disk, extents, names=[f"{out_name}-p{p}" for p in range(n_parts)]
-    )
-    with session as shards:
-        tasks = [
-            (
-                shards[p],
-                sources,
-                cuts,
-                p,
-                rec_dtype,
-                buffer_records,
-                byte_ranges[p][0],
-                byte_ranges[p][1],
-                out_first,
-                engine,
-                collect,
-            )
-            for p in range(n_parts)
-        ]
-        if pool_kind == "serial" or n_parts == 1:
-            results = [_merge_partition_to_shard(*task) for task in tasks]
-        else:
+    def attempt(attempt_index: int):
+        # A fresh session per attempt: a faulting attempt aborts on
+        # exit (parent unfenced, extent untouched, no stats), so a
+        # retry re-issues the identical plan against a clean slate.
+        session = ShardedDisk(
+            disk, extents, names=[f"{out_name}-p{p}" for p in range(n_parts)]
+        )
+        with session as shards:
+            tasks = [
+                (
+                    shards[p]
+                    if wrap_device is None
+                    else wrap_device(shards[p], p, attempt_index),
+                    sources,
+                    cuts,
+                    p,
+                    rec_dtype,
+                    buffer_records,
+                    byte_ranges[p][0],
+                    byte_ranges[p][1],
+                    out_first,
+                    engine,
+                    collect,
+                )
+                for p in range(n_parts)
+            ]
+            if pool_kind == "serial" or n_parts == 1:
+                return [_merge_partition_to_shard(*task) for task in tasks]
             with ThreadPoolExecutor(max_workers=n_parts) as executor:
-                results = list(
+                return list(
                     executor.map(lambda task: _merge_partition_to_shard(*task), tasks)
                 )
+
+    results = run_self_healing(
+        attempt, retries=heal_retries, label=f"sharded spill merge {out_name!r}"
+    )
     fragments = [piece for frags, _, _ in results for piece in frags]
     _write_boundary_pages(disk, out_first, fragments)
     keys = payloads = None
@@ -428,6 +450,7 @@ def sharded_stream_merge(
     pool_kind: str = "thread",
     engine: str = "blockwise",
     splitters: np.ndarray | None = None,
+    wrap_device=None,
 ):
     """Merge spilled runs into a *consumer stream*, partitions in parallel.
 
@@ -445,6 +468,13 @@ def sharded_stream_merge(
     reconciliation on detach is in partition order, so the stats are
     bit-identical between pooled and ``pool_kind="serial"`` (inline)
     execution.
+
+    ``wrap_device`` is the same fault seam as in
+    :func:`sharded_spill_merge` (called with ``attempt`` fixed at 0).
+    A generator cannot retry on behalf of a consumer that has already
+    received chunks, so a device fault propagates after the session
+    aborts — the parent is unfenced and the *caller* heals (retries the
+    whole stream or degrades to the serial merge).
     """
     if engine not in MERGE_ENGINES:
         raise ValueError(f"engine must be one of {MERGE_ENGINES}, got {engine!r}")
@@ -459,10 +489,14 @@ def sharded_stream_merge(
         read_only=True,
     )
     with session as shards:
+        devices = [
+            shards[p] if wrap_device is None else wrap_device(shards[p], p, 0)
+            for p in range(n_parts)
+        ]
         if pool_kind == "serial" or n_parts == 1:
             for p in range(n_parts):
                 for chunk_keys, chunk_payloads in _partition_chunks(
-                    shards[p], sources, cuts, p, rec_dtype,
+                    devices[p], sources, cuts, p, rec_dtype,
                     buffer_records, engine,
                 ):
                     yield from emitter.push(chunk_keys, chunk_payloads)
@@ -473,7 +507,7 @@ def sharded_stream_merge(
         def feed(p: int) -> None:
             try:
                 for chunk in _partition_chunks(
-                    shards[p], sources, cuts, p, rec_dtype,
+                    devices[p], sources, cuts, p, rec_dtype,
                     buffer_records, engine,
                 ):
                     queues[p].put(chunk)

@@ -11,6 +11,17 @@ from .bufferpool import BufferPool
 from .cost import SSD_COST, UNIFORM_COST, CostModel, DiskStats
 from .disk import PAGE_STORES, DiskShard, PageError, ShardedDisk, SimulatedDisk
 from .external_sort import ExternalSorter, SortReport, sort_to_arrays
+from .faults import (
+    CorruptionError,
+    DeviceCrash,
+    FaultError,
+    FaultPlan,
+    FaultyDevice,
+    InjectedFault,
+    PermanentIOError,
+    TornWrite,
+    TransientIOError,
+)
 from .merge import (
     MERGE_ENGINES,
     LoserTree,
@@ -26,11 +37,20 @@ from .seriesfile import RawSeriesFile
 
 __all__ = [
     "BufferPool",
+    "CorruptionError",
     "CostModel",
+    "DeviceCrash",
     "DiskShard",
     "DiskStats",
     "Extent",
+    "FaultError",
+    "FaultPlan",
+    "FaultyDevice",
+    "InjectedFault",
+    "PermanentIOError",
     "ShardedDisk",
+    "TornWrite",
+    "TransientIOError",
     "ExternalSorter",
     "LoserTree",
     "MERGE_ENGINES",

@@ -952,11 +952,36 @@ class ShardedDisk:
         self._attached = False
         return merged
 
+    def abort(self) -> DiskStats:
+        """Discard the session without reconciling anything.
+
+        Idempotent.  Shard pages, stats and traces are dropped, the
+        parent is unfenced, and the parent head is left exactly where
+        it was when the session attached — so an aborted attempt (a
+        worker raising an injected device fault, a crashed merge)
+        contributes *nothing* to the parent: a later retry or a serial
+        fallback on the parent replays as if the attempt never ran.
+        """
+        if not self._attached:
+            return DiskStats()
+        for shard in self.shards:
+            shard._attached = False
+        if self.disk._shard_session is self:
+            self.disk._shard_session = None
+        self._attached = False
+        return DiskStats()
+
     def __enter__(self) -> "list[DiskShard]":
         return self.shards
 
-    def __exit__(self, *exc_info) -> None:
-        self.detach()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A clean exit reconciles; an exception aborts, so a raise
+        # mid-session can never leave the parent fenced or merge a
+        # half-executed plan into its pages and counters.
+        if exc_type is None:
+            self.detach()
+        else:
+            self.abort()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -164,6 +164,21 @@ class RawSeriesFile:
                     )
         self.n_series = total
 
+    def truncate(self, n_series: int) -> None:
+        """Logically truncate the file to its first ``n_series`` records.
+
+        Crash recovery uses this to drop rows appended by operations
+        that were never acknowledged: like a real filesystem truncate,
+        only the length changes — pages past the new end keep whatever
+        bytes they held, and a later append overwrites them through the
+        normal partial-last-page path.
+        """
+        if not 0 <= n_series <= self.n_series:
+            raise ValueError(
+                f"cannot truncate to {n_series} (file holds {self.n_series})"
+            )
+        self.n_series = n_series
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Shared test configuration: a hang guard for the whole suite.
+
+The fault-injection and self-healing tests exercise retry loops,
+worker pools and crash-recovery paths — exactly the code that, when
+broken, *hangs* rather than fails (a worker parked on a queue, a retry
+loop that never gives up).  ``pytest-timeout`` is not available in the
+pinned environment, so an autouse fixture arms a ``SIGALRM`` watchdog
+around every test instead: on POSIX main-thread runs a test exceeding
+the budget raises a ``Failed`` error with a clear message instead of
+wedging CI.
+
+Override the budget (seconds) with ``REPRO_TEST_TIMEOUT``; ``0``
+disables the guard entirely.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+DEFAULT_TIMEOUT_S = 180
+
+
+def _timeout_budget() -> int:
+    try:
+        return int(os.environ.get("REPRO_TEST_TIMEOUT", DEFAULT_TIMEOUT_S))
+    except ValueError:
+        return DEFAULT_TIMEOUT_S
+
+
+@pytest.fixture(autouse=True)
+def _test_timeout_guard(request):
+    budget = _timeout_budget()
+    if (
+        budget <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {budget}s watchdog "
+            f"(REPRO_TEST_TIMEOUT): {request.node.nodeid}",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(budget)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
