@@ -12,6 +12,7 @@ Examples::
     python -m repro.bench query --mode exact --dataset seismic
     python -m repro.bench query --batch --k 5 --indexes CTree Serial
     python -m repro.bench query --batch --workers 4
+    python -m repro.bench sched --workers 2 4 --k 8
     python -m repro.bench parallel --index CTreeFull --workers 1 2 4
     python -m repro.bench merge --records 200000 --runs 32 --workers 2 4
     python -m repro.bench spilled --records 200000 --runs 8 --workers 4
@@ -29,12 +30,20 @@ always at least as good as per-query on I/O, and most effective on
 exact search where the summary scan dominates.  ``query --batch
 --workers N`` additionally runs that shared pass on the multi-worker
 engine (range-partitioned lower bounds, shard-parallel fetches) with
-identical answers; the speedup needs idle cores.
+identical answers; the speedup needs idle cores.  ``sched`` compares
+the adaptive scheduler (shared best-k bounds, cost-model planning)
+against the fixed plan while asserting answers stay bit-identical.
+
+Each subcommand is one :class:`_Command` row in :data:`COMMANDS` —
+adding an experiment means adding one row, not editing the parser and
+the dispatcher separately.
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from .harness import (
     MATERIALIZED_GROUP,
@@ -47,11 +56,30 @@ from .harness import (
     run_merge_engine_sweep,
     run_parallel_build_sweep,
     run_query_experiment,
+    run_sched_sweep,
     run_spilled_merge_sweep,
     run_update_workload,
 )
 from .report import print_experiment
 from .workloads import DatasetSpec
+
+
+@dataclass(frozen=True)
+class _Command:
+    """One ``python -m repro.bench <name>`` subcommand."""
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace, Optional[DatasetSpec]], None]
+    #: Whether the command takes the shared dataset arguments (and so
+    #: gets a :class:`DatasetSpec` built from them).
+    needs_dataset: bool = True
+    #: Optional cross-argument validation; call ``parser.error`` on
+    #: bad combinations.
+    validate: Optional[
+        Callable[[argparse.ArgumentParser, argparse.Namespace], None]
+    ] = None
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -64,8 +92,368 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
 
 
-def _spec(args: argparse.Namespace) -> DatasetSpec:
-    return DatasetSpec(args.dataset, args.n, args.length, args.seed)
+# ------------------------------------------------------------------ build
+def _configure_build(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--group", default="secondary", choices=["secondary", "materialized"]
+    )
+    parser.add_argument(
+        "--memory", type=float, nargs="+", default=[1.0, 0.05, 0.01],
+        help="memory budgets as fractions of the dataset size",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel bulk-loading (Coconut indexes)",
+    )
+
+
+def _run_build(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    group = SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
+    rows = run_build_sweep(group, spec, args.memory, workers=args.workers)
+    print_experiment(f"construction sweep ({args.group})", rows)
+
+
+# ------------------------------------------------------------------ query
+def _configure_query(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mode", default="exact", choices=["exact", "approximate"]
+    )
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument(
+        "--indexes", nargs="+",
+        default=["CTree", "CTreeFull", "ADS+", "ADSFull"],
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="answer the workload as one QueryBatch and compare with per-query",
+    )
+    parser.add_argument(
+        "--k", type=int, default=1, help="neighbors per query (batch mode)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the multi-worker batched engine "
+        "(requires --batch; answers stay identical, speedup needs cores)",
+    )
+
+
+def _validate_query(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    if args.batch and args.mode != "exact":
+        parser.error("--batch compares exact search only; drop --mode")
+    if not args.batch and args.k != 1:
+        parser.error("--k only applies to the batched experiment; add --batch")
+    if not args.batch and args.workers != 1:
+        parser.error("--workers parallelizes the batched engine; add --batch")
+
+
+def _run_query(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    if args.batch:
+        rows = run_batch_query_experiment(
+            args.indexes, spec, args.queries, k=args.k,
+            query_workers=args.workers,
+        )
+        print_experiment("batched vs per-query exact search", rows)
+    else:
+        rows = run_query_experiment(
+            args.indexes, spec, args.queries, mode=args.mode
+        )
+        print_experiment(f"{args.mode} query costs", rows)
+
+
+# ------------------------------------------------------------------ sched
+def _configure_sched(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queries", type=int, default=24)
+    parser.add_argument(
+        "--k", type=int, default=8,
+        help="neighbors per query (k > 1 gives the shared board real "
+        "thresholds to propagate)",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[2, 4],
+        help="worker counts to sweep (cells with 1 are skipped)",
+    )
+    parser.add_argument(
+        "--indexes", nargs="+", default=["CTree", "CTreeFull"],
+    )
+
+
+def _run_sched(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    rows = run_sched_sweep(
+        args.indexes, spec, args.queries, workers_list=args.workers, k=args.k
+    )
+    print_experiment(
+        "adaptive scheduler vs fixed plan (shared best-k bounds)",
+        rows,
+        columns=[
+            "index", "workers", "k", "cores", "fixed_batch_s",
+            "adaptive_batch_s", "speedup", "pages_sharing_on",
+            "pages_sharing_off", "identical", "io_deterministic",
+        ],
+    )
+
+
+# --------------------------------------------------------------- parallel
+def _configure_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--index", default="CTreeFull")
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to sweep (put 1 first for the baseline)",
+    )
+
+
+def _run_parallel(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    rows = run_parallel_build_sweep(args.index, spec, args.workers)
+    print_experiment("parallel build scaling", rows)
+
+
+# ------------------------------------------------------------------ merge
+def _configure_merge(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--records", type=int, nargs="+", default=[200_000],
+        help="total records per merge cell",
+    )
+    parser.add_argument(
+        "--runs", type=int, nargs="+", default=[32],
+        help="presorted run counts to merge",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[],
+        help="also time the parallel range-partitioned in-memory merge",
+    )
+    parser.add_argument(
+        "--dup-alphabet", type=int, default=0,
+        help="draw key bytes from this many values (duplicate-heavy keys)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _run_merge(args: argparse.Namespace, spec: None) -> None:
+    rows = run_merge_engine_sweep(
+        args.records,
+        args.runs,
+        workers_list=args.workers,
+        seed=args.seed,
+        dup_alphabet=args.dup_alphabet,
+    )
+    print_experiment("k-way merge engines", rows)
+
+
+# ---------------------------------------------------------------- spilled
+def _configure_spilled(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--records", type=int, nargs="+", default=[200_000],
+        help="total records per merge cell (budget forces a spill)",
+    )
+    parser.add_argument(
+        "--runs", type=int, nargs="+", default=[8],
+        help="presorted run counts to spill and merge",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[2, 4],
+        help="partition/worker counts for the sharded cascade",
+    )
+    parser.add_argument(
+        "--payload-dims", type=int, default=16,
+        help="float32 payload columns per record (0 = int64 offsets)",
+    )
+    parser.add_argument("--dup-alphabet", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _run_spilled(args: argparse.Namespace, spec: None) -> None:
+    rows = run_spilled_merge_sweep(
+        args.records,
+        args.runs,
+        workers_list=args.workers,
+        seed=args.seed,
+        dup_alphabet=args.dup_alphabet,
+        payload_dims=args.payload_dims,
+    )
+    print_experiment("sharded spilled-run merging", rows)
+
+
+# ------------------------------------------------------------------ arena
+def _configure_arena(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n", type=int, nargs="+", default=[60_000],
+        help="series counts for the scan/fetch cells",
+    )
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the skip-sequential fetch visits",
+    )
+    parser.add_argument(
+        "--records", type=int, nargs="+", default=[200_000],
+        help="records per spilled-merge cell (empty budget forces a spill)",
+    )
+    parser.add_argument(
+        "--runs", type=int, nargs="+", default=[8],
+        help="presorted run counts for the merge cells",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2],
+        help="merge worker counts (>1 exercises shard arenas too)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _run_arena(args: argparse.Namespace, spec: None) -> None:
+    rows = run_arena_sweep(
+        args.n,
+        length=args.length,
+        fetch_fraction=args.fetch_fraction,
+        record_counts=args.records,
+        run_counts=args.runs,
+        workers_list=args.workers,
+        seed=args.seed,
+    )
+    print_experiment(
+        "arena vs dict page store",
+        rows,
+        columns=[
+            "workload", "n_series", "records", "runs", "cores",
+            "dict_s", "arena_s", "speedup", "identical", "io_identical",
+        ],
+    )
+
+
+# ------------------------------------------------------------------ fetch
+def _configure_fetch(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n", type=int, nargs="+", default=[10_000, 50_000],
+        help="series counts for the gather/refine cells",
+    )
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the skip-sequential gather visits",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per cell (best-of)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _run_fetch(args: argparse.Namespace, spec: None) -> None:
+    rows = run_fetch_sweep(
+        args.n,
+        length=args.length,
+        fetch_fraction=args.fetch_fraction,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print_experiment(
+        "vectorized fetch vs loop oracle",
+        rows,
+        columns=[
+            "workload", "store", "n_series", "cores",
+            "loop_s", "vector_s", "speedup", "identical", "io_identical",
+        ],
+    )
+
+
+# ----------------------------------------------------------------- faults
+def _configure_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n", type=int, nargs="+", default=[50_000],
+        help="series counts for the disabled-hook overhead cells",
+    )
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the gather visits",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per cell (best-of)",
+    )
+    parser.add_argument(
+        "--recovery-seeds", type=int, default=4,
+        help="seeded crash/recover schedules per page store",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _run_faults(args: argparse.Namespace, spec: None) -> None:
+    rows = run_fault_overhead_sweep(
+        args.n,
+        length=args.length,
+        fetch_fraction=args.fetch_fraction,
+        seed=args.seed,
+        repeats=args.repeats,
+        recovery_seeds=args.recovery_seeds,
+    )
+    print_experiment(
+        "fault layer: disabled-hook overhead + recovery smoke",
+        rows,
+        columns=[
+            "workload", "store", "n_series", "cores",
+            "bare_s", "hooked_s", "overhead", "identical", "io_identical",
+        ],
+    )
+
+
+# ------------------------------------------------------------------ space
+def _run_space(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    rows = run_build_sweep(MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25])
+    print_experiment(
+        "space overhead",
+        rows,
+        columns=["index", "index_MB", "n_leaves", "leaf_fill"],
+    )
+
+
+# ---------------------------------------------------------------- updates
+def _configure_updates(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batches", type=int, nargs="+", default=[50, 500, 4000]
+    )
+    parser.add_argument("--queries", type=int, default=10)
+
+
+def _run_updates(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    rows = run_update_workload(
+        ["CTree", "ADS+"], spec, args.batches, n_queries=args.queries
+    )
+    print_experiment("mixed insert/query workload", rows)
+
+
+#: The single registration table every subcommand lives in.
+COMMANDS: tuple[_Command, ...] = (
+    _Command("build", "construction vs memory sweep",
+             _configure_build, _run_build),
+    _Command("query", "query cost experiment",
+             _configure_query, _run_query, validate=_validate_query),
+    _Command("sched",
+             "adaptive scheduler vs fixed plan (shared best-k bounds)",
+             _configure_sched, _run_sched),
+    _Command("parallel", "build speedup vs worker count",
+             _configure_parallel, _run_parallel),
+    _Command("merge", "k-way merge engine comparison (heapq vs blockwise)",
+             _configure_merge, _run_merge, needs_dataset=False),
+    _Command("spilled",
+             "sharded parallel spilled-run merge vs the serial sorter",
+             _configure_spilled, _run_spilled, needs_dataset=False),
+    _Command("arena",
+             "arena page store vs the dict-store oracle (zero-copy reads)",
+             _configure_arena, _run_arena, needs_dataset=False),
+    _Command("fetch",
+             "vectorized gather/refine vs the loop-level fetch oracle",
+             _configure_fetch, _run_fetch, needs_dataset=False),
+    _Command("faults",
+             "fault-layer overhead (hooks disabled) + crash-recovery smoke",
+             _configure_faults, _run_faults, needs_dataset=False),
+    _Command("space", "index size and fill factors",
+             lambda parser: None, _run_space),
+    _Command("updates", "mixed insert/query workload",
+             _configure_updates, _run_updates),
+)
+
+_BY_NAME = {command.name: command for command in COMMANDS}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,295 +461,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.bench",
         description="Run Coconut reproduction experiments from the shell.",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
-
-    build = commands.add_parser("build", help="construction vs memory sweep")
-    _add_dataset_arguments(build)
-    build.add_argument(
-        "--group", default="secondary", choices=["secondary", "materialized"]
-    )
-    build.add_argument(
-        "--memory", type=float, nargs="+", default=[1.0, 0.05, 0.01],
-        help="memory budgets as fractions of the dataset size",
-    )
-    build.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for parallel bulk-loading (Coconut indexes)",
-    )
-
-    query = commands.add_parser("query", help="query cost experiment")
-    _add_dataset_arguments(query)
-    query.add_argument("--mode", default="exact", choices=["exact", "approximate"])
-    query.add_argument("--queries", type=int, default=20)
-    query.add_argument(
-        "--indexes", nargs="+",
-        default=["CTree", "CTreeFull", "ADS+", "ADSFull"],
-    )
-    query.add_argument(
-        "--batch", action="store_true",
-        help="answer the workload as one QueryBatch and compare with per-query",
-    )
-    query.add_argument(
-        "--k", type=int, default=1, help="neighbors per query (batch mode)"
-    )
-    query.add_argument(
-        "--workers", type=int, default=1,
-        help="worker count for the multi-worker batched engine "
-        "(requires --batch; answers stay identical, speedup needs cores)",
-    )
-
-    parallel = commands.add_parser(
-        "parallel", help="build speedup vs worker count"
-    )
-    _add_dataset_arguments(parallel)
-    parallel.add_argument("--index", default="CTreeFull")
-    parallel.add_argument(
-        "--workers", type=int, nargs="+", default=[1, 2, 4],
-        help="worker counts to sweep (put 1 first for the baseline)",
-    )
-
-    merge = commands.add_parser(
-        "merge", help="k-way merge engine comparison (heapq vs blockwise)"
-    )
-    merge.add_argument(
-        "--records", type=int, nargs="+", default=[200_000],
-        help="total records per merge cell",
-    )
-    merge.add_argument(
-        "--runs", type=int, nargs="+", default=[32],
-        help="presorted run counts to merge",
-    )
-    merge.add_argument(
-        "--workers", type=int, nargs="+", default=[],
-        help="also time the parallel range-partitioned in-memory merge",
-    )
-    merge.add_argument(
-        "--dup-alphabet", type=int, default=0,
-        help="draw key bytes from this many values (duplicate-heavy keys)",
-    )
-    merge.add_argument("--seed", type=int, default=7)
-
-    spilled = commands.add_parser(
-        "spilled",
-        help="sharded parallel spilled-run merge vs the serial sorter",
-    )
-    spilled.add_argument(
-        "--records", type=int, nargs="+", default=[200_000],
-        help="total records per merge cell (budget forces a spill)",
-    )
-    spilled.add_argument(
-        "--runs", type=int, nargs="+", default=[8],
-        help="presorted run counts to spill and merge",
-    )
-    spilled.add_argument(
-        "--workers", type=int, nargs="+", default=[2, 4],
-        help="partition/worker counts for the sharded cascade",
-    )
-    spilled.add_argument(
-        "--payload-dims", type=int, default=16,
-        help="float32 payload columns per record (0 = int64 offsets)",
-    )
-    spilled.add_argument("--dup-alphabet", type=int, default=0)
-    spilled.add_argument("--seed", type=int, default=7)
-
-    arena = commands.add_parser(
-        "arena",
-        help="arena page store vs the dict-store oracle (zero-copy reads)",
-    )
-    arena.add_argument(
-        "--n", type=int, nargs="+", default=[60_000],
-        help="series counts for the scan/fetch cells",
-    )
-    arena.add_argument("--length", type=int, default=128)
-    arena.add_argument(
-        "--fetch-fraction", type=float, default=0.3,
-        help="fraction of records the skip-sequential fetch visits",
-    )
-    arena.add_argument(
-        "--records", type=int, nargs="+", default=[200_000],
-        help="records per spilled-merge cell (empty budget forces a spill)",
-    )
-    arena.add_argument(
-        "--runs", type=int, nargs="+", default=[8],
-        help="presorted run counts for the merge cells",
-    )
-    arena.add_argument(
-        "--workers", type=int, nargs="+", default=[1, 2],
-        help="merge worker counts (>1 exercises shard arenas too)",
-    )
-    arena.add_argument("--seed", type=int, default=7)
-
-    fetch = commands.add_parser(
-        "fetch",
-        help="vectorized gather/refine vs the loop-level fetch oracle",
-    )
-    fetch.add_argument(
-        "--n", type=int, nargs="+", default=[10_000, 50_000],
-        help="series counts for the gather/refine cells",
-    )
-    fetch.add_argument("--length", type=int, default=128)
-    fetch.add_argument(
-        "--fetch-fraction", type=float, default=0.3,
-        help="fraction of records the skip-sequential gather visits",
-    )
-    fetch.add_argument(
-        "--repeats", type=int, default=3,
-        help="timing repeats per cell (best-of)",
-    )
-    fetch.add_argument("--seed", type=int, default=7)
-
-    faults = commands.add_parser(
-        "faults",
-        help="fault-layer overhead (hooks disabled) + crash-recovery smoke",
-    )
-    faults.add_argument(
-        "--n", type=int, nargs="+", default=[50_000],
-        help="series counts for the disabled-hook overhead cells",
-    )
-    faults.add_argument("--length", type=int, default=128)
-    faults.add_argument(
-        "--fetch-fraction", type=float, default=0.3,
-        help="fraction of records the gather visits",
-    )
-    faults.add_argument(
-        "--repeats", type=int, default=5,
-        help="timing repeats per cell (best-of)",
-    )
-    faults.add_argument(
-        "--recovery-seeds", type=int, default=4,
-        help="seeded crash/recover schedules per page store",
-    )
-    faults.add_argument("--seed", type=int, default=7)
-
-    space = commands.add_parser("space", help="index size and fill factors")
-    _add_dataset_arguments(space)
-
-    updates = commands.add_parser("updates", help="mixed insert/query workload")
-    _add_dataset_arguments(updates)
-    updates.add_argument("--batches", type=int, nargs="+", default=[50, 500, 4000])
-    updates.add_argument("--queries", type=int, default=10)
-
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in COMMANDS:
+        sub = subparsers.add_parser(command.name, help=command.help)
+        if command.needs_dataset:
+            _add_dataset_arguments(sub)
+        command.configure(sub)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "query" and args.batch and args.mode != "exact":
-        parser.error("--batch compares exact search only; drop --mode")
-    if args.command == "query" and not args.batch and args.k != 1:
-        parser.error("--k only applies to the batched experiment; add --batch")
-    if args.command == "query" and not args.batch and args.workers != 1:
-        parser.error("--workers parallelizes the batched engine; add --batch")
+    command = _BY_NAME[args.command]
+    if command.validate is not None:
+        command.validate(parser, args)
     spec = (
-        _spec(args)
-        if args.command not in ("merge", "spilled", "arena", "fetch", "faults")
+        DatasetSpec(args.dataset, args.n, args.length, args.seed)
+        if command.needs_dataset
         else None
     )
-    if args.command == "build":
-        group = (
-            SECONDARY_GROUP if args.group == "secondary" else MATERIALIZED_GROUP
-        )
-        rows = run_build_sweep(group, spec, args.memory, workers=args.workers)
-        print_experiment(f"construction sweep ({args.group})", rows)
-    elif args.command == "query" and args.batch:
-        rows = run_batch_query_experiment(
-            args.indexes, spec, args.queries, k=args.k,
-            query_workers=args.workers,
-        )
-        print_experiment("batched vs per-query exact search", rows)
-    elif args.command == "query":
-        rows = run_query_experiment(
-            args.indexes, spec, args.queries, mode=args.mode
-        )
-        print_experiment(f"{args.mode} query costs", rows)
-    elif args.command == "parallel":
-        rows = run_parallel_build_sweep(args.index, spec, args.workers)
-        print_experiment("parallel build scaling", rows)
-    elif args.command == "merge":
-        rows = run_merge_engine_sweep(
-            args.records,
-            args.runs,
-            workers_list=args.workers,
-            seed=args.seed,
-            dup_alphabet=args.dup_alphabet,
-        )
-        print_experiment("k-way merge engines", rows)
-    elif args.command == "spilled":
-        rows = run_spilled_merge_sweep(
-            args.records,
-            args.runs,
-            workers_list=args.workers,
-            seed=args.seed,
-            dup_alphabet=args.dup_alphabet,
-            payload_dims=args.payload_dims,
-        )
-        print_experiment("sharded spilled-run merging", rows)
-    elif args.command == "arena":
-        rows = run_arena_sweep(
-            args.n,
-            length=args.length,
-            fetch_fraction=args.fetch_fraction,
-            record_counts=args.records,
-            run_counts=args.runs,
-            workers_list=args.workers,
-            seed=args.seed,
-        )
-        print_experiment(
-            "arena vs dict page store",
-            rows,
-            columns=[
-                "workload", "n_series", "records", "runs", "cores",
-                "dict_s", "arena_s", "speedup", "identical", "io_identical",
-            ],
-        )
-    elif args.command == "fetch":
-        rows = run_fetch_sweep(
-            args.n,
-            length=args.length,
-            fetch_fraction=args.fetch_fraction,
-            seed=args.seed,
-            repeats=args.repeats,
-        )
-        print_experiment(
-            "vectorized fetch vs loop oracle",
-            rows,
-            columns=[
-                "workload", "store", "n_series", "cores",
-                "loop_s", "vector_s", "speedup", "identical", "io_identical",
-            ],
-        )
-    elif args.command == "faults":
-        rows = run_fault_overhead_sweep(
-            args.n,
-            length=args.length,
-            fetch_fraction=args.fetch_fraction,
-            seed=args.seed,
-            repeats=args.repeats,
-            recovery_seeds=args.recovery_seeds,
-        )
-        print_experiment(
-            "fault layer: disabled-hook overhead + recovery smoke",
-            rows,
-            columns=[
-                "workload", "store", "n_series", "cores",
-                "bare_s", "hooked_s", "overhead", "identical", "io_identical",
-            ],
-        )
-    elif args.command == "space":
-        rows = run_build_sweep(
-            MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25]
-        )
-        print_experiment(
-            "space overhead",
-            rows,
-            columns=["index", "index_MB", "n_leaves", "leaf_fill"],
-        )
-    elif args.command == "updates":
-        rows = run_update_workload(
-            ["CTree", "ADS+"], spec, args.batches, n_queries=args.queries
-        )
-        print_experiment("mixed insert/query workload", rows)
+    command.run(args, spec)
     return 0
 
 

@@ -393,14 +393,18 @@ class CoconutTree(SeriesIndex):
         hi: int,
         radius: int,
         read_leaf=None,
+        raw=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Distances to the radius candidates: (identifiers, distances).
 
         ``read_leaf`` overrides the leaf reader — the batched
         approximate path passes a caching reader so queries landing in
-        the same leaves share each read.
+        the same leaves share each read.  ``raw`` overrides the raw
+        series file the secondary variant fetches from (the parallel
+        approximate path passes a view bound to a worker's device).
         """
         read_leaf = read_leaf or self._read_leaf_records
+        raw = raw if raw is not None else self.raw
         records_parts = [
             read_leaf(self._leaves[i]) for i in range(lo, hi)
         ]
@@ -416,12 +420,12 @@ class CoconutTree(SeriesIndex):
             series = records["series"].astype(np.float64)
             identifiers = records["off"].astype(np.int64)
         else:
-            window = max(4, self.raw.series_per_page) * radius
+            window = max(4, raw.series_per_page) * radius
             probe = np.array([key], dtype=self.config.key_dtype)
             position = int(np.searchsorted(records["k"], probe[0]))
             start = max(0, min(position - window // 2, len(records) - window))
             subset = records[start : start + window]
-            series = self.raw.get_many(subset["off"])
+            series = raw.get_many(subset["off"])
             identifiers = subset["off"].astype(np.int64)
         # No running bound at the approximate probe: the inf bound
         # short-circuits the fused kernel to the plain batch distance.
@@ -511,7 +515,10 @@ class CoconutTree(SeriesIndex):
         outcome.wall_s = measure.wall_s
         return outcome
 
-    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
+    def query_batch(
+        self, batch, query_workers=1, query_pool_kind="auto",
+        scheduler="adaptive", bound_sharing="auto",
+    ):
         """Batched queries sharing work across the batch (repro.parallel).
 
         Exact batches share one SIMS pass: the summary column is loaded
@@ -523,30 +530,101 @@ class CoconutTree(SeriesIndex):
         a time.
 
         ``query_workers > 1`` (or ``None``/``0`` for all cores) runs
-        exact batches on the multi-worker engine
-        (:mod:`repro.parallel.query`): the lower-bound scan is
-        range-partitioned across a pool and the record fetches stream
-        through per-worker read-only shards — answers (ids, distances,
-        tie order) stay bit-identical to the serial batched engine.
-        ``query_pool_kind="serial"`` replays the parallel plan inline
-        (the I/O-determinism oracle).
+        the batch on the multi-worker engines: exact batches
+        range-partition the lower-bound scan and stream record fetches
+        through per-worker read-only shards, approximate batches
+        range-partition the leaf visit order — answers (ids,
+        distances, tie order) stay bit-identical to the serial batched
+        engines.  ``query_pool_kind="serial"`` replays the parallel
+        plan inline (the I/O-determinism oracle, with
+        ``bound_sharing="off"``).  Planning, ``scheduler`` and
+        ``bound_sharing`` are documented on
+        :func:`repro.parallel.sched.run_sims_query_batch` and
+        :meth:`repro.indexes.base.SeriesIndex.query_batch`.
         """
-        from ..parallel.batch import approx_query_batch, sims_query_batch
-        from ..parallel.summarize import resolve_workers
+        from ..parallel.sched import run_sims_query_batch
 
-        if batch.mode == "approximate":
-            return approx_query_batch(self, batch)
-        if resolve_workers(query_workers) > 1:
-            from ..parallel.query import parallel_sims_query_batch
+        return run_sims_query_batch(
+            self,
+            batch,
+            query_workers=query_workers,
+            query_pool_kind=query_pool_kind,
+            scheduler=scheduler,
+            bound_sharing=bound_sharing,
+        )
 
-            return parallel_sims_query_batch(
-                self,
-                batch,
-                self._prepare_sims_parallel,
-                query_workers=query_workers,
-                pool_kind=query_pool_kind,
+    def _approx_visit_order(self, queries: np.ndarray):
+        """The batch's shared visit order: ascending target leaf.
+
+        Returns ``(order, ctx)`` — query indices sorted stably by
+        target leaf (so shared reads walk the leaf file forward, and
+        any contiguous slice of the order visits a contiguous leaf
+        range) plus the per-query keys/targets reused by
+        :meth:`_approx_answer_subset`.
+        """
+        keys = [query_key(query, self.config) for query in queries]
+        targets = np.array(
+            [self._locate_leaf(key) for key in keys], dtype=np.int64
+        )
+        order = np.argsort(targets, kind="stable").astype(np.int64)
+        return order, (keys, targets)
+
+    def _approx_answer_subset(
+        self, queries: np.ndarray, ctx, order: np.ndarray, device=None
+    ):
+        """Answer the queries in ``order`` with a fresh leaf cache.
+
+        ``device=None`` reads on the parent device — one subset over
+        the full order is exactly the serial batched pass.  A worker's
+        device (a shard-scoped buffer pool) binds every leaf and
+        raw-file read to that worker's private I/O domain.  Returns
+        ``(query_index, QueryResult)`` pairs; a query's answer never
+        depends on the cache (only its I/O charging does), which pins
+        the partitioned path to the serial per-batch cache oracle.
+        """
+        keys, targets = ctx
+        radius = self.default_radius
+        cache: dict[int, np.ndarray] = {}
+        leaf_file = (
+            None if device is None else self._leaf_file.attach(device)
+        )
+        raw = self.raw if device is None else self.raw.view(device)
+
+        def read_leaf(leaf: _Leaf) -> np.ndarray:
+            records = cache.get(leaf.slot)
+            if records is None:
+                records = self._read_leaf_records(leaf, leaf_file=leaf_file)
+                cache[leaf.slot] = records
+            return records
+
+        pairs = []
+        for qi in order:
+            qi = int(qi)
+            target = int(targets[qi])
+            lo = max(0, target - (radius - 1) // 2)
+            hi = min(len(self._leaves), lo + radius)
+            lo = max(0, hi - radius)
+            identifiers, distances = self._scan_radius(
+                queries[qi], keys[qi], lo, hi, radius,
+                read_leaf=read_leaf, raw=raw,
             )
-        return sims_query_batch(self, batch, self._prepare_sims)
+            if len(identifiers):
+                j = int(np.argmin(distances))
+                best_idx, best_dist = int(identifiers[j]), float(distances[j])
+            else:
+                best_idx, best_dist = -1, float("inf")
+            pairs.append(
+                (
+                    qi,
+                    QueryResult(
+                        answer_idx=best_idx,
+                        distance=best_dist,
+                        visited_records=len(identifiers),
+                        visited_leaves=hi - lo,
+                    ),
+                )
+            )
+        return pairs
 
     def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
         """Per-query approximate answers with a shared leaf cache.
@@ -556,41 +634,10 @@ class CoconutTree(SeriesIndex):
         deduplicated, and the visit order is ascending by target leaf
         so the shared reads walk the leaf file forward.
         """
-        radius = self.default_radius
-        cache: dict[int, np.ndarray] = {}
-
-        def read_leaf(leaf: _Leaf) -> np.ndarray:
-            records = cache.get(leaf.slot)
-            if records is None:
-                records = self._read_leaf_records(leaf)
-                cache[leaf.slot] = records
-            return records
-
-        keys = [query_key(query, self.config) for query in queries]
-        targets = np.array(
-            [self._locate_leaf(key) for key in keys], dtype=np.int64
-        )
+        order, ctx = self._approx_visit_order(queries)
         results: list[QueryResult | None] = [None] * len(queries)
-        for qi in np.argsort(targets, kind="stable"):
-            qi = int(qi)
-            target = int(targets[qi])
-            lo = max(0, target - (radius - 1) // 2)
-            hi = min(len(self._leaves), lo + radius)
-            lo = max(0, hi - radius)
-            identifiers, distances = self._scan_radius(
-                queries[qi], keys[qi], lo, hi, radius, read_leaf=read_leaf
-            )
-            if len(identifiers):
-                j = int(np.argmin(distances))
-                best_idx, best_dist = int(identifiers[j]), float(distances[j])
-            else:
-                best_idx, best_dist = -1, float("inf")
-            results[qi] = QueryResult(
-                answer_idx=best_idx,
-                distance=best_dist,
-                visited_records=len(identifiers),
-                visited_leaves=hi - lo,
-            )
+        for qi, result in self._approx_answer_subset(queries, ctx, order):
+            results[qi] = result
         return results
 
     def _prepare_sims(self):

@@ -344,7 +344,10 @@ class CoconutTrie(SeriesIndex):
 
         return seeded_sims_knn(self, query, k, self._prepare_sims)
 
-    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
+    def query_batch(
+        self, batch, query_workers=1, query_pool_kind="auto",
+        scheduler="adaptive", bound_sharing="auto",
+    ):
         """Batched queries sharing work across the batch (repro.parallel).
 
         Exact batches share one SIMS pass; approximate batches share
@@ -352,25 +355,90 @@ class CoconutTrie(SeriesIndex):
         queries that land in it.  Answers are identical to the
         per-query loop either way.  ``query_workers > 1`` runs exact
         batches on the multi-worker engine (:mod:`repro.parallel.query`)
-        with answers bit-identical to the serial batched engine;
+        and approximate batches on the partitioned visit-order engine,
+        answers bit-identical to the serial batched engines;
         ``query_pool_kind="serial"`` replays the plan inline.
+        Planning, ``scheduler`` and ``bound_sharing`` are documented on
+        :func:`repro.parallel.sched.run_sims_query_batch`.
         """
-        from ..parallel.batch import approx_query_batch, sims_query_batch
-        from ..parallel.summarize import resolve_workers
+        from ..parallel.sched import run_sims_query_batch
 
-        if batch.mode == "approximate":
-            return approx_query_batch(self, batch)
-        if resolve_workers(query_workers) > 1:
-            from ..parallel.query import parallel_sims_query_batch
+        return run_sims_query_batch(
+            self,
+            batch,
+            query_workers=query_workers,
+            query_pool_kind=query_pool_kind,
+            scheduler=scheduler,
+            bound_sharing=bound_sharing,
+        )
 
-            return parallel_sims_query_batch(
-                self,
-                batch,
-                self._prepare_sims_parallel,
-                query_workers=query_workers,
-                pool_kind=query_pool_kind,
+    def _approx_visit_order(self, queries: np.ndarray):
+        """Visit order (ascending target leaf) + per-query keys/targets."""
+        if not self._leaves:
+            return np.empty(0, dtype=np.int64), ([], np.empty(0, np.int64))
+        keys = [query_key(query, self.config) for query in queries]
+        targets = np.array(
+            [self._locate_leaf(key) for key in keys], dtype=np.int64
+        )
+        order = np.argsort(targets, kind="stable").astype(np.int64)
+        return order, (keys, targets)
+
+    def _approx_answer_subset(
+        self, queries: np.ndarray, ctx, order: np.ndarray, device=None
+    ):
+        """Answer the queries in ``order`` with a fresh leaf cache.
+
+        Same contract as ``CoconutTree._approx_answer_subset``: reads
+        bound to ``device`` (parent device when ``None``), answers a
+        pure function of the query — the cache only dedupes I/O.
+        """
+        keys, targets = ctx
+        cache: dict[int, np.ndarray] = {}
+        leaf_file = (
+            None if device is None else self._leaf_file.attach(device)
+        )
+        raw = self.raw if device is None else self.raw.view(device)
+
+        def read_leaf(index: int) -> np.ndarray:
+            records = cache.get(index)
+            if records is None:
+                records = self._read_leaf_records(
+                    self._leaves[index], leaf_file=leaf_file
+                )
+                cache[index] = records
+            return records
+
+        pairs = []
+        for qi in order:
+            qi = int(qi)
+            records = read_leaf(int(targets[qi]))
+            if self.is_materialized:
+                series = records["series"].astype(np.float64)
+            else:
+                window = max(4, raw.series_per_page)
+                probe = np.array([keys[qi]], dtype=self.config.key_dtype)
+                position = int(np.searchsorted(records["k"], probe[0]))
+                start = max(
+                    0, min(position - window // 2, len(records) - window)
+                )
+                records = records[start : start + window]
+                series = raw.get_many(records["off"])
+            distances = early_abandon_euclidean_block(
+                queries[qi], series, float("inf")
             )
-        return sims_query_batch(self, batch, self._prepare_sims)
+            j = int(np.argmin(distances))
+            pairs.append(
+                (
+                    qi,
+                    QueryResult(
+                        answer_idx=int(records["off"][j]),
+                        distance=float(distances[j]),
+                        visited_records=len(records),
+                        visited_leaves=1,
+                    ),
+                )
+            )
+        return pairs
 
     def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
         """Per-query approximate answers with a shared leaf cache.
@@ -379,46 +447,12 @@ class CoconutTrie(SeriesIndex):
         in ascending leaf order and each distinct leaf is read once per
         batch.
         """
-        results: list[QueryResult | None] = [None] * len(queries)
         if not self._leaves:
             return [QueryResult() for _ in queries]
-        cache: dict[int, np.ndarray] = {}
-
-        def read_leaf(index: int) -> np.ndarray:
-            records = cache.get(index)
-            if records is None:
-                records = self._read_leaf_records(self._leaves[index])
-                cache[index] = records
-            return records
-
-        keys = [query_key(query, self.config) for query in queries]
-        targets = np.array(
-            [self._locate_leaf(key) for key in keys], dtype=np.int64
-        )
-        for qi in np.argsort(targets, kind="stable"):
-            qi = int(qi)
-            records = read_leaf(int(targets[qi]))
-            if self.is_materialized:
-                series = records["series"].astype(np.float64)
-            else:
-                window = max(4, self.raw.series_per_page)
-                probe = np.array([keys[qi]], dtype=self.config.key_dtype)
-                position = int(np.searchsorted(records["k"], probe[0]))
-                start = max(
-                    0, min(position - window // 2, len(records) - window)
-                )
-                records = records[start : start + window]
-                series = self.raw.get_many(records["off"])
-            distances = early_abandon_euclidean_block(
-                queries[qi], series, float("inf")
-            )
-            j = int(np.argmin(distances))
-            results[qi] = QueryResult(
-                answer_idx=int(records["off"][j]),
-                distance=float(distances[j]),
-                visited_records=len(records),
-                visited_leaves=1,
-            )
+        order, ctx = self._approx_visit_order(queries)
+        results: list[QueryResult | None] = [None] * len(queries)
+        for qi, result in self._approx_answer_subset(queries, ctx, order):
+            results[qi] = result
         return results
 
     def _prepare_sims(self):

@@ -18,7 +18,7 @@ import numpy as np
 from ..series.distance import early_abandon_euclidean_block
 from ..summaries.paa import paa
 from ..summaries.sax import SAXConfig, mindist_paa_to_words
-from .sims import FetchFn
+from .sims import SIMS_BLOCK_RECORDS, FetchFn
 
 
 @dataclass
@@ -125,7 +125,7 @@ def sims_knn_scan(
     config: SAXConfig,
     fetch: FetchFn,
     seed_distances: list[tuple[float, int]] | None = None,
-    block_records: int = 4096,
+    block_records: int = SIMS_BLOCK_RECORDS,
 ) -> KNNOutcome:
     """Exact k-NN via the skip-sequential summary scan.
 

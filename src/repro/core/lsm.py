@@ -488,16 +488,18 @@ class CoconutLSM(SeriesIndex):
         return run.offsets[start:stop], np.arange(start, stop)
 
     def _approximate_one(
-        self, query: np.ndarray, read_window=None
+        self, query: np.ndarray, read_window=None, raw=None
     ) -> tuple[int, float, int]:
         """One approximate probe: (answer_idx, distance, visited).
 
-        Shared between :meth:`approximate_search` and the batched path;
-        only ``read_window`` (how run page windows are charged) varies,
-        so per-query answers are identical by construction.
+        Shared between :meth:`approximate_search` and the batched
+        paths; only ``read_window`` (how run page windows are charged)
+        and ``raw`` (which device the record fetch lands on) vary, so
+        per-query answers are identical by construction.
         """
+        raw = raw if raw is not None else self.raw
         key = query_key(query, self.config)
-        window = max(4, self.raw.series_per_page)
+        window = max(4, raw.series_per_page)
         offset_parts = []
         for run in self._runs:
             offsets, _ = self._probe_run(run, key, window, read_window)
@@ -514,7 +516,7 @@ class CoconutLSM(SeriesIndex):
         if offset_parts:
             offsets = np.unique(np.concatenate(offset_parts))
             if len(offsets):
-                series = self.raw.get_many(offsets)
+                series = raw.get_many(offsets)
                 distances = early_abandon_euclidean_block(
                     query, series, float("inf")
                 )
@@ -538,6 +540,66 @@ class CoconutLSM(SeriesIndex):
             wall_s=measure.wall_s,
         )
 
+    def _approx_visit_order(self, queries: np.ndarray):
+        """Visit order for batched probes: batch order, no context.
+
+        Every query probes every run around its own key, so there is
+        no cross-query sort to exploit — the shared resource is the
+        window cache, which :meth:`_approx_answer_subset` keeps per
+        subset.  Batch order makes the serial path trivially identical
+        to the per-query loop.
+        """
+        return np.arange(len(queries), dtype=np.int64), None
+
+    def _approx_answer_subset(
+        self, queries: np.ndarray, ctx, order: np.ndarray, device=None
+    ):
+        """Answer the queries in ``order`` with a fresh window cache.
+
+        ``device=None`` probes run files and fetches records on the
+        parent device — one subset spanning the batch is exactly the
+        serial batched pass.  A worker's device binds each run file
+        and the raw series file to its private I/O domain.  The window
+        cache only dedupes the I/O charge of a probed page range;
+        answers are a pure function of the query.
+        """
+        seen: set[tuple[int, int, int]] = set()
+        raw = self.raw if device is None else self.raw.view(device)
+        files: dict[int, object] = {}
+
+        def read_window(run: _Run, first_page: int, n_pages: int) -> None:
+            cache_key = (id(run), first_page, n_pages)
+            if cache_key in seen:
+                return
+            seen.add(cache_key)
+            if device is None:
+                file = run.file
+            else:
+                file = files.get(id(run))
+                if file is None:
+                    file = run.file.attach(device)
+                    files[id(run)] = file
+            file.read_stream(first_page, n_pages)
+
+        pairs = []
+        for qi in order:
+            qi = int(qi)
+            best_idx, best_dist, visited = self._approximate_one(
+                queries[qi], read_window, raw=raw
+            )
+            pairs.append(
+                (
+                    qi,
+                    QueryResult(
+                        answer_idx=best_idx,
+                        distance=best_dist,
+                        visited_records=visited,
+                        visited_leaves=self.n_runs,
+                    ),
+                )
+            )
+        return pairs
+
     def _approximate_batch(self, queries: np.ndarray) -> list[QueryResult]:
         """Per-query approximate answers sharing run-probe page windows.
 
@@ -547,28 +609,10 @@ class CoconutLSM(SeriesIndex):
         is charged once per batch instead of once per query, the run
         analogue of the leaf-cache trick the tree indexes use.
         """
-        seen: set[tuple[int, int, int]] = set()
-
-        def read_window(run: _Run, first_page: int, n_pages: int) -> None:
-            cache_key = (id(run), first_page, n_pages)
-            if cache_key in seen:
-                return
-            seen.add(cache_key)
-            run.file.read_stream(first_page, n_pages)
-
-        results = []
-        for query in queries:
-            best_idx, best_dist, visited = self._approximate_one(
-                query, read_window
-            )
-            results.append(
-                QueryResult(
-                    answer_idx=best_idx,
-                    distance=best_dist,
-                    visited_records=visited,
-                    visited_leaves=self.n_runs,
-                )
-            )
+        order, ctx = self._approx_visit_order(queries)
+        results: list[QueryResult | None] = [None] * len(queries)
+        for qi, result in self._approx_answer_subset(queries, ctx, order):
+            results[qi] = result
         return results
 
     def _all_summaries(self) -> tuple[np.ndarray, np.ndarray]:
@@ -619,7 +663,10 @@ class CoconutLSM(SeriesIndex):
 
         return seeded_sims_knn(self, query, k, self._prepare_sims)
 
-    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
+    def query_batch(
+        self, batch, query_workers=1, query_pool_kind="auto",
+        scheduler="adaptive", bound_sharing="auto",
+    ):
         """Batched queries sharing work across the batch.
 
         Exact batches share one SIMS pass over the union of runs;
@@ -627,26 +674,23 @@ class CoconutLSM(SeriesIndex):
         several queries land in is read once).  Answers are identical
         to issuing the queries one at a time.  ``query_workers > 1``
         runs exact batches on the multi-worker engine
-        (:mod:`repro.parallel.query`) with answers bit-identical to the
-        serial batched engine; ``query_pool_kind="serial"`` replays the
-        plan inline.
+        (:mod:`repro.parallel.query`) and approximate batches on the
+        partitioned visit-order engine, answers bit-identical to the
+        serial batched engines; ``query_pool_kind="serial"`` replays
+        the plan inline.  Planning, ``scheduler`` and ``bound_sharing``
+        are documented on
+        :func:`repro.parallel.sched.run_sims_query_batch`.
         """
-        from ..parallel.batch import approx_query_batch, sims_query_batch
-        from ..parallel.summarize import resolve_workers
+        from ..parallel.sched import run_sims_query_batch
 
-        if batch.mode == "approximate":
-            return approx_query_batch(self, batch)
-        if resolve_workers(query_workers) > 1:
-            from ..parallel.query import parallel_sims_query_batch
-
-            return parallel_sims_query_batch(
-                self,
-                batch,
-                self._prepare_sims_parallel,
-                query_workers=query_workers,
-                pool_kind=query_pool_kind,
-            )
-        return sims_query_batch(self, batch, self._prepare_sims)
+        return run_sims_query_batch(
+            self,
+            batch,
+            query_workers=query_workers,
+            query_pool_kind=query_pool_kind,
+            scheduler=scheduler,
+            bound_sharing=bound_sharing,
+        )
 
     def _prepare_sims(self):
         """(words, fetch) over the union of runs, for the shared engines."""

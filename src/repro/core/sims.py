@@ -27,6 +27,13 @@ from ..summaries.sax import SAXConfig, mindist_paa_to_words
 #: fetch(positions ascending) -> (series matrix, identifier per row)
 FetchFn = Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
 
+#: Records refined per skip-sequential fetch block.  Shared by every
+#: SIMS-style engine (single-query, batched, parallel) so thresholds
+#: are re-consulted on the same cadence everywhere, and used by the
+#: query scheduler as the ceiling on its fetch-partition floor (a
+#: partition never needs to be larger than one refine block).
+SIMS_BLOCK_RECORDS = 4096
+
 
 @dataclass
 class SIMSOutcome:
@@ -43,7 +50,7 @@ def sims_scan(
     fetch: FetchFn,
     initial_bsf: float = float("inf"),
     initial_answer: int = -1,
-    block_records: int = 4096,
+    block_records: int = SIMS_BLOCK_RECORDS,
 ) -> SIMSOutcome:
     """Exact nearest neighbor via lower-bound scan + skip-sequential fetch.
 

@@ -108,6 +108,10 @@ class BatchReport:
     io: DiskStats = field(default_factory=DiskStats)
     simulated_io_ms: float = 0.0
     wall_s: float = 0.0
+    #: The scheduler's recorded decision for this batch
+    #: (:class:`repro.parallel.sched.PlanReport`), when an engine that
+    #: plans produced the report; ``None`` for unplanned paths.
+    plan: object | None = None
 
     @property
     def total_cost_s(self) -> float:
@@ -228,6 +232,8 @@ class SeriesIndex(abc.ABC):
         batch: QueryBatch,
         query_workers: int = 1,
         query_pool_kind: str = "auto",
+        scheduler: str = "adaptive",
+        bound_sharing: str = "auto",
     ) -> BatchReport:
         """Answer a :class:`QueryBatch`; default is a per-query loop.
 
@@ -241,6 +247,16 @@ class SeriesIndex(abc.ABC):
         serially with the same results.  ``query_pool_kind`` picks the
         worker pool (``"auto"``/``"thread"``/``"process"``/``"serial"``
         — the last replays the parallel plan inline, the I/O oracle).
+
+        ``scheduler`` selects how the parallel engines plan the batch
+        (``"adaptive"`` — the cost-model planner of
+        :mod:`repro.parallel.sched`; ``"fixed"`` — the PR-4 plan,
+        byte-threshold pools and requested workers) and
+        ``bound_sharing`` controls the shared best-k bound of the
+        exact fetch phase (``"auto"`` follows the scheduler — on under
+        adaptive, off under fixed; ``"off"`` restores per-worker
+        pruning and with it the replay-deterministic ``DiskStats``).
+        Indexes without a parallel path accept and ignore both.
         """
         queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
         results: list[QueryResult] = []

@@ -70,7 +70,10 @@ class SerialScan(SeriesIndex):
     def exact_search(self, query: np.ndarray) -> QueryResult:
         return self._scan(query)
 
-    def query_batch(self, batch, query_workers=1, query_pool_kind="auto"):
+    def query_batch(
+        self, batch, query_workers=1, query_pool_kind="auto",
+        scheduler="adaptive", bound_sharing="auto",
+    ):
         """Answer the whole batch in a single pass over the raw file.
 
         The serial scan is where batching pays the most: Q queries cost
@@ -80,19 +83,35 @@ class SerialScan(SeriesIndex):
         page-aligned ranges scanned concurrently through read-only
         shards (:func:`repro.parallel.query.parallel_serial_scan_batch`)
         with bit-identical answers for any worker count.
+
+        A full scan has no pruning, so ``bound_sharing`` is accepted
+        and ignored; ``scheduler="adaptive"`` still plans the pass —
+        the cost model clamps the fan-out when the file is too small
+        to amortize its pool tasks — and the decision is recorded on
+        ``report.plan``.
         """
         from ..core.knn import KNNOutcome, _BoundedMaxHeap
         from ..parallel.batch import build_batch_report
-        from ..parallel.summarize import resolve_workers
+        from ..parallel.sched import plan_query_batch
 
-        if resolve_workers(query_workers) > 1:
+        plan = plan_query_batch(
+            batch,
+            self,
+            query_workers=query_workers,
+            pool_kind=query_pool_kind,
+            scheduler=scheduler,
+            bound_sharing="off",
+        )
+        if plan.scan_workers > 1:
             # Approximate and exact scans are the same full pass here,
             # so the parallel path serves both modes.
             from ..parallel.query import parallel_serial_scan_batch
 
-            return parallel_serial_scan_batch(
-                self, batch, query_workers, pool_kind=query_pool_kind
+            report = parallel_serial_scan_batch(
+                self, batch, plan.scan_workers, pool_kind=query_pool_kind
             )
+            report.plan = plan
+            return report
 
         queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
         for query in queries:
@@ -119,4 +138,6 @@ class SerialScan(SeriesIndex):
                     pruned_fraction=0.0,
                 )
             )
-        return build_batch_report(outcomes, measure)
+        report = build_batch_report(outcomes, measure)
+        report.plan = plan
+        return report

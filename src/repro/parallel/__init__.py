@@ -40,7 +40,16 @@ any number of producers.  This package supplies both halves:
   (ids, distances, tie order) bit-identical to the serial batched
   engine for any worker count and reconciled
   :class:`repro.storage.DiskStats` bit-identical to the inline serial
-  replay (``pool_kind="serial"``).
+  replay (``pool_kind="serial"``, with ``bound_sharing="off"``).
+* :mod:`repro.parallel.sched` — the adaptive scheduler on top: a
+  shared best-k bound board that lets exact workers prune against the
+  global state of the batch (answers still bit-identical for any
+  publish interleaving), range-partitioned parallel *approximate*
+  batches, and a calibrated cost-model planner
+  (:func:`repro.parallel.sched.plan_query_batch`) that picks worker
+  counts, pool kinds and fetch-partition floors per batch — with
+  ``scheduler="fixed"`` as the escape hatch reproducing the
+  unscheduled engine exactly.
 
 All are wired into the index classes (``workers=`` on the Coconut
 constructors, ``query_batch(query_workers=)`` on every index) and into
@@ -70,6 +79,14 @@ from .query import (
     parallel_sims_query_batch,
     partition_ranges,
 )
+from .sched import (
+    PlanReport,
+    SharedBoundBoard,
+    calibrate_query_costs,
+    parallel_approx_batch,
+    plan_query_batch,
+    run_sims_query_batch,
+)
 from .spill import (
     ShardedMergeResult,
     sharded_spill_merge,
@@ -92,12 +109,16 @@ __all__ = [
     "HEAL_BACKOFF_S",
     "HEAL_RETRIES",
     "ParallelSummarizer",
+    "PlanReport",
     "ShardedMergeResult",
+    "SharedBoundBoard",
     "approx_query_batch",
     "batched_exact_knn",
     "build_batch_report",
+    "calibrate_query_costs",
     "choose_pool_kind",
     "choose_pool_kind_for_bytes",
+    "parallel_approx_batch",
     "parallel_batched_exact_knn",
     "parallel_invsax_keys",
     "parallel_lower_bound_scan",
@@ -106,7 +127,9 @@ __all__ = [
     "parallel_sims_query_batch",
     "partition_ranges",
     "partition_runs",
+    "plan_query_batch",
     "resolve_workers",
+    "run_sims_query_batch",
     "run_cut_positions",
     "run_self_healing",
     "sample_splitters",

@@ -69,6 +69,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..core.knn import _BoundedMaxHeap
+from ..core.sims import SIMS_BLOCK_RECORDS
 from ..indexes.base import BatchReport, Measurement
 from ..series.distance import early_abandon_euclidean_block
 from ..storage.bufferpool import BufferPool
@@ -216,6 +217,7 @@ def _fetch_partition(
     seeds: "list[list[tuple[float, int]]]",
     fetch,
     block_records: int,
+    bound_board=None,
 ) -> "tuple[list[_BoundedMaxHeap], np.ndarray]":
     """One fetch worker: walk a candidate chunk, fill per-query heaps.
 
@@ -223,11 +225,16 @@ def _fetch_partition(
     (:func:`repro.parallel.batch.walk_candidate_blocks`) on this
     worker's chunk — except the thresholds only ever see the chunk's
     offers (plus the shared seeds), so they are never tighter than the
-    serial engine's and pruning can only be more conservative.
+    serial engine's and pruning can only be more conservative.  A
+    ``bound_board`` closes that gap: workers publish their thresholds
+    and prune against the shared minimum, shrinking visits without
+    touching answers (the certified-upper-bound argument in
+    :mod:`repro.parallel.sched`).
     """
     heaps = seeded_heaps(len(queries), k, seeds)
     visited = walk_candidate_blocks(
-        queries, heaps, mindists, candidates, fetch, block_records
+        queries, heaps, mindists, candidates, fetch, block_records,
+        bound_board=bound_board,
     )
     return heaps, visited
 
@@ -242,8 +249,14 @@ def parallel_batched_exact_knn(
     seeds: "list[list[tuple[float, int]]] | None" = None,
     workers: int | None = 2,
     pool_kind: str = "auto",
-    block_records: int = 4096,
+    block_records: int = SIMS_BLOCK_RECORDS,
     wrap_device=None,
+    bound_sharing: str = "off",
+    bound_board=None,
+    bound_cadence: str = "block",
+    scan_workers: int | None = None,
+    scan_pool_kind: str | None = None,
+    min_fetch_records: int = 1,
 ):
     """Exact k-NN for a batch, both SIMS phases on worker pools.
 
@@ -255,6 +268,23 @@ def parallel_batched_exact_knn(
     follows the build convention (``None``/``0`` = all cores, ``1`` =
     the serial engine); ``pool_kind="serial"`` executes the parallel
     plan inline — the replay oracle for the I/O-determinism contract.
+
+    ``bound_sharing="on"`` publishes each worker's per-query heap
+    thresholds to a shared board consulted at block boundaries
+    (:class:`repro.parallel.sched.SharedBoundBoard`): answers and tie
+    order stay bit-identical for any publish interleaving, visits can
+    only shrink, but ``DiskStats`` become interleaving-dependent — the
+    replay-determinism contract requires ``"off"``.  A fresh board is
+    built per healing attempt (a faulted attempt's publishes must not
+    leak into its retry); ``bound_board`` overrides that with an
+    injected board for the unsplit batch (the property-test seam for
+    adversarial publish schedules).  ``bound_cadence="partition"``
+    freezes each worker's snapshot at partition start and merges its
+    publishes on completion — the coordinator-exchange cadence a
+    process pool would need.  ``scan_workers``/``scan_pool_kind``
+    override the lower-bound scan's fan-out (the planner's knobs;
+    default: same as the fetch), and ``min_fetch_records`` is the
+    planner's floor on candidates per fetch partition.
 
     ``wrap_device(shard, partition, attempt)`` is the self-healing
     fault seam (:mod:`repro.parallel.heal`): each fetch worker's reads
@@ -270,6 +300,10 @@ def parallel_batched_exact_knn(
     """
     if pool_kind not in _POOL_KINDS:
         raise ValueError(f"pool_kind must be one of {_POOL_KINDS}, got {pool_kind!r}")
+    if bound_sharing not in ("on", "off"):
+        raise ValueError(
+            f"bound_sharing must be 'on' or 'off', got {bound_sharing!r}"
+        )
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     n_queries, n = len(queries), len(words)
     workers = resolve_workers(workers)
@@ -280,14 +314,23 @@ def parallel_batched_exact_knn(
     if n_queries > 1 and n_queries * n > MAX_MINDIST_CELLS:
         # Same sub-batch split (and seed routing) as the serial engine:
         # the memory cap applies to the per-worker mindist slices too.
+        # Sub-batches answer disjoint query sets, so each gets its own
+        # board (an injected one is sized for the unsplit batch and is
+        # dropped here).
         half = n_queries // 2
         seeds = seeds or [[] for _ in range(n_queries)]
         return parallel_batched_exact_knn(
             queries[:half], k, words, config, make_fetch, disk,
             seeds[:half], workers, pool_kind, block_records, wrap_device,
+            bound_sharing=bound_sharing, bound_cadence=bound_cadence,
+            scan_workers=scan_workers, scan_pool_kind=scan_pool_kind,
+            min_fetch_records=min_fetch_records,
         ) + parallel_batched_exact_knn(
             queries[half:], k, words, config, make_fetch, disk,
             seeds[half:], workers, pool_kind, block_records, wrap_device,
+            bound_sharing=bound_sharing, bound_cadence=bound_cadence,
+            scan_workers=scan_workers, scan_pool_kind=scan_pool_kind,
+            min_fetch_records=min_fetch_records,
         )
     seeds = seeds or [[] for _ in range(n_queries)]
     heaps = seeded_heaps(n_queries, k, seeds)
@@ -296,19 +339,26 @@ def parallel_batched_exact_knn(
     query_paa = paa(queries, config.word_length)
     thresholds = np.array([heap.threshold for heap in heaps])
     mindists, union = parallel_lower_bound_scan(
-        query_paa, words, config, thresholds, workers, pool_kind
+        query_paa, words, config, thresholds,
+        scan_workers if scan_workers is not None else workers,
+        scan_pool_kind if scan_pool_kind is not None else pool_kind,
     )
     visited = np.zeros(n_queries, dtype=np.int64)
     if len(union):
+        n_chunks = min(workers, len(union))
+        if min_fetch_records > 1:
+            n_chunks = max(1, min(n_chunks, len(union) // min_fetch_records))
         chunks = [
             chunk
-            for chunk in np.array_split(union, min(workers, len(union)))
+            for chunk in np.array_split(union, n_chunks)
             if len(chunk)
         ]
         results = run_self_healing(
             lambda attempt_index: _run_fetch_partitions(
                 disk, chunks, queries, k, mindists, seeds, make_fetch,
                 block_records, pool_kind, wrap_device, attempt_index,
+                bound_sharing=bound_sharing, bound_board=bound_board,
+                bound_cadence=bound_cadence,
             ),
             # The sentinel routes degradation out of the helper: the
             # serial engine redoes the whole batch (scan included) on
@@ -343,6 +393,9 @@ def _run_fetch_partitions(
     pool_kind: str,
     wrap_device=None,
     attempt_index: int = 0,
+    bound_sharing: str = "off",
+    bound_board=None,
+    bound_cadence: str = "block",
 ):
     """Run the per-chunk fetch plans on read-only shards.
 
@@ -351,7 +404,20 @@ def _run_fetch_partitions(
     resulting :class:`DiskStats` are a pure function of the plans.  A
     worker exception aborts the session — parent unfenced, nothing
     reconciled — which is what makes the caller's retry loop sound.
+
+    The bound board is built *here*, once per attempt: a faulted
+    attempt may have published bounds computed from corrupted reads,
+    so its board must never survive into the retry.  (An injected
+    ``bound_board`` is the test seam and bypasses that isolation.)
+    With ``bound_cadence="partition"`` each worker sees a snapshot
+    frozen at partition start and its publishes merge on completion —
+    under ``pool_kind="serial"`` partition ``p`` therefore prunes with
+    exactly the bounds of partitions ``< p``, a deterministic replay.
     """
+    if bound_board is None and bound_sharing == "on":
+        from .sched import SharedBoundBoard
+
+        bound_board = SharedBoundBoard(len(queries))
     session = ShardedDisk(
         disk,
         [(0, 0)] * len(chunks),
@@ -360,16 +426,24 @@ def _run_fetch_partitions(
     )
 
     def run_partition(p: int):
+        board = bound_board
+        if board is not None and bound_cadence == "partition":
+            from .sched import PartitionBoardView
+
+            board = PartitionBoardView(bound_board)
         device = (
             session.shards[p]
             if wrap_device is None
             else wrap_device(session.shards[p], p, attempt_index)
         )
         with BufferPool(device, QUERY_SHARD_POOL_PAGES) as pool:
-            return _fetch_partition(
+            result = _fetch_partition(
                 queries, k, mindists, chunks[p], seeds, make_fetch(pool),
-                block_records,
+                block_records, bound_board=board,
             )
+        if board is not None and board is not bound_board:
+            board.flush()
+        return result
 
     with session:
         if pool_kind == "serial" or len(chunks) == 1:
@@ -380,7 +454,9 @@ def _run_fetch_partitions(
 
 def parallel_sims_query_batch(
     index, batch, prepare_parallel, query_workers, pool_kind: str = "auto",
-    wrap_device=None,
+    wrap_device=None, bound_sharing: str = "off", bound_board=None,
+    bound_cadence: str = "block", scan_workers: int | None = None,
+    scan_pool_kind: str | None = None, min_fetch_records: int = 1,
 ) -> BatchReport:
     """Multi-worker ``query_batch`` for SIMS-backed indexes.
 
@@ -389,6 +465,9 @@ def parallel_sims_query_batch(
     charged to the batch, and ``make_fetch`` binds fetches to worker
     devices.  Approximate seeding stays on the parent device, before
     the sharded fetch session opens, exactly like the serial engine.
+    The trailing keywords are the scheduler's knobs, threaded to
+    :func:`parallel_batched_exact_knn`; the defaults reproduce the
+    PR-4 plan exactly.
     """
     queries = np.atleast_2d(np.asarray(batch.queries, dtype=np.float64))
     with Measurement(index.disk) as measure:
@@ -408,6 +487,12 @@ def parallel_sims_query_batch(
             workers=query_workers,
             pool_kind=pool_kind,
             wrap_device=wrap_device,
+            bound_sharing=bound_sharing,
+            bound_board=bound_board,
+            bound_cadence=bound_cadence,
+            scan_workers=scan_workers,
+            scan_pool_kind=scan_pool_kind,
+            min_fetch_records=min_fetch_records,
         )
     return build_batch_report(outcomes, measure)
 

@@ -241,6 +241,7 @@ def sharded_spill_merge(
     pool_kind: str = "thread",
     engine: str = "blockwise",
     splitters: np.ndarray | None = None,
+    cuts: "list[np.ndarray] | None" = None,
     collect: str | None = None,
     out_name: str = "sharded-merge",
     wrap_device=None,
@@ -266,6 +267,11 @@ def sharded_spill_merge(
     splitters:
         Explicit splitter keys (ascending, deduplicated) override the
         sample — the equivalence property is quantified over them.
+    cuts:
+        Precomputed per-run cut positions for ``splitters`` (e.g. from
+        :func:`repro.storage.fence.fenced_cut_positions`); with them
+        the sources' key columns may be ``None`` — planning needs no
+        mirrors at all.
     collect:
         ``"keys"`` returns the merged key column (cascade passes need
         it to cut the next pass); ``"records"`` returns keys and
@@ -284,7 +290,7 @@ def sharded_spill_merge(
     if engine not in MERGE_ENGINES:
         raise ValueError(f"engine must be one of {MERGE_ENGINES}, got {engine!r}")
     _validate_pool_kind(pool_kind)
-    splitters, cuts = _cut_sources(sources, n_partitions, splitters)
+    splitters, cuts = _cut_sources(sources, n_partitions, splitters, cuts)
     n_parts = len(splitters) + 1
     itemsize = rec_dtype.itemsize
     page_size = disk.page_size
@@ -412,10 +418,36 @@ def _validate_pool_kind(pool_kind: str) -> None:
         raise ValueError(f"unknown pool kind {pool_kind!r}")
 
 
-def _cut_sources(sources, n_partitions, splitters):
-    """Shared planning: validate sources, sample splitters, cut runs."""
+def _cut_sources(sources, n_partitions, splitters, cuts=None):
+    """Shared planning: validate sources, sample splitters, cut runs.
+
+    Precomputed ``cuts`` (with their ``splitters``) skip the key
+    mirrors entirely — the fence-planned cascade
+    (:mod:`repro.storage.fence`) cuts runs from per-page zone maps, so
+    its sources carry ``None`` key columns.
+    """
     if not sources:
         raise ValueError("sharded merge requires at least one source run")
+    if cuts is not None:
+        if splitters is None:
+            raise ValueError("explicit cuts require their splitters")
+        if len(cuts) != len(sources):
+            raise ValueError(
+                f"{len(cuts)} cut arrays for {len(sources)} sources"
+            )
+        for (file, n_records, _), cut in zip(sources, cuts):
+            cut = np.asarray(cut)
+            if (
+                len(cut) != len(splitters) + 2
+                or cut[0] != 0
+                or cut[-1] != n_records
+                or np.any(np.diff(cut) < 0)
+            ):
+                raise ValueError(
+                    f"run {file.name!r}: cut positions {cut!r} do not "
+                    f"tile [0, {n_records}) at {len(splitters)} splitters"
+                )
+        return splitters, list(cuts)
     for file, n_records, keys in sources:
         if len(keys) != n_records:
             raise ValueError(
@@ -450,6 +482,7 @@ def sharded_stream_merge(
     pool_kind: str = "thread",
     engine: str = "blockwise",
     splitters: np.ndarray | None = None,
+    cuts: "list[np.ndarray] | None" = None,
     wrap_device=None,
 ):
     """Merge spilled runs into a *consumer stream*, partitions in parallel.
@@ -479,7 +512,7 @@ def sharded_stream_merge(
     if engine not in MERGE_ENGINES:
         raise ValueError(f"engine must be one of {MERGE_ENGINES}, got {engine!r}")
     _validate_pool_kind(pool_kind)
-    splitters, cuts = _cut_sources(sources, n_partitions, splitters)
+    splitters, cuts = _cut_sources(sources, n_partitions, splitters, cuts)
     n_parts = len(splitters) + 1
     emitter = _PairEmitter(rec_dtype, buffer_records)
     session = ShardedDisk(

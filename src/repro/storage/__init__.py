@@ -11,6 +11,14 @@ from .bufferpool import BufferPool
 from .cost import SSD_COST, UNIFORM_COST, CostModel, DiskStats
 from .disk import PAGE_STORES, DiskShard, PageError, ShardedDisk, SimulatedDisk
 from .external_sort import ExternalSorter, SortReport, sort_to_arrays
+from .fence import (
+    RunFence,
+    build_run_fence,
+    fenced_cut_positions,
+    page_record_starts,
+    read_run_fence,
+    write_run_fence,
+)
 from .faults import (
     CorruptionError,
     DeviceCrash,
@@ -59,14 +67,20 @@ __all__ = [
     "PagedFile",
     "RawSeriesFile",
     "RunCursor",
+    "RunFence",
     "SimulatedDisk",
     "SortReport",
     "SSD_COST",
     "UNIFORM_COST",
     "blockwise_merge_stream",
+    "build_run_fence",
+    "fenced_cut_positions",
     "heapq_merge_stream",
     "merge_pair",
     "merge_presorted",
     "merge_stream",
+    "page_record_starts",
+    "read_run_fence",
     "sort_to_arrays",
+    "write_run_fence",
 ]

@@ -107,12 +107,20 @@ class PageError(Exception):
 
 
 class _ExtentArenas:
-    """Contiguous page storage: one fixed-size ``bytearray`` per extent.
+    """Contiguous page storage: one ``bytearray`` arena per extent run.
 
     Arenas are appended in ascending page order (allocation is
-    monotonic) and never resized, so exported memoryviews stay valid
-    for the life of the container.  All views handed out are read-only;
-    mutation goes through :meth:`splice`.
+    monotonic).  A freshly allocated extent that is physically adjacent
+    to the tail arena is *coalesced* into it — grown in place — so
+    incrementally built files stay single-arena and their runs stay on
+    the zero-copy path of :meth:`run_view`.  Growing a ``bytearray``
+    with exported memoryviews raises ``BufferError``, so coalescing
+    backs off to a separate arena exactly when a grow could invalidate
+    a live view; an arena with no exports never moves data (``extend``
+    preserves existing offsets), and once created an arena is never
+    removed, so exported views stay valid for the life of the
+    container.  All views handed out are read-only; mutation goes
+    through :meth:`splice`.
     """
 
     __slots__ = ("page_size", "starts", "arenas")
@@ -123,9 +131,18 @@ class _ExtentArenas:
         self.arenas: list[bytearray] = []
 
     def add(self, first_page: int, n_pages: int) -> None:
-        """Back a freshly allocated extent with a zero-filled arena."""
+        """Back a freshly allocated extent with zero-filled storage."""
+        grow = n_pages * self.page_size
+        if self.arenas:
+            tail_pages = len(self.arenas[-1]) // self.page_size
+            if first_page == self.starts[-1] + tail_pages:
+                try:
+                    self.arenas[-1].extend(bytes(grow))
+                    return
+                except BufferError:
+                    pass  # live exports pin the tail: new arena instead
         self.starts.append(first_page)
-        self.arenas.append(bytearray(n_pages * self.page_size))
+        self.arenas.append(bytearray(grow))
 
     def _locate(self, page_id: int) -> int:
         """Index of the arena containing ``page_id`` (must be backed)."""

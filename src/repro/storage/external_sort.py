@@ -76,12 +76,17 @@ class _SpillRun:
     ``keys`` is the run's in-memory key mirror, retained only when the
     sharded parallel cascade needs it for splitter sampling and exact
     record-level cuts (the sortable summarizations are what "in general
-    fit in main memory"); the serial cascade carries ``None``.
+    fit in main memory"); the serial cascade carries ``None``.  With
+    ``cut_planning="fence"`` the mirror is dropped too — ``fence``
+    holds the per-page zone map (:class:`repro.storage.fence.RunFence`,
+    also persisted as the run's footer) that plans the same cuts from
+    two keys per page plus boundary-page reads.
     """
 
     file: PagedFile
     n_records: int
     keys: np.ndarray | None = None
+    fence: object | None = None
 
 
 def _record_dtype(keys: np.ndarray, payloads: np.ndarray) -> np.dtype:
@@ -115,6 +120,7 @@ class ExternalSorter:
         merge_engine: str = "blockwise",
         merge_workers: int = 1,
         pool_kind: str = "auto",
+        cut_planning: str = "mirror",
     ):
         if memory_bytes <= 0:
             raise ValueError(f"memory_bytes must be positive, got {memory_bytes}")
@@ -122,11 +128,22 @@ class ExternalSorter:
             raise ValueError(
                 f"merge_engine must be one of {MERGE_ENGINES}, got {merge_engine!r}"
             )
+        if cut_planning not in ("mirror", "fence"):
+            raise ValueError(
+                "cut_planning must be 'mirror' or 'fence', "
+                f"got {cut_planning!r}"
+            )
         self.disk = disk
         self.memory_bytes = memory_bytes
         self.merge_engine = merge_engine
         self.merge_workers = max(1, int(merge_workers))
         self.pool_kind = pool_kind
+        #: How the sharded cascade plans its splitter cuts: ``"mirror"``
+        #: keeps each run's full key column resident (free planning),
+        #: ``"fence"`` persists a per-page zone map in the run footer
+        #: and plans the *identical* cuts from it with a few charged
+        #: boundary-page reads (:mod:`repro.storage.fence`).
+        self.cut_planning = cut_planning
         self.report = SortReport()
 
     def sort(
@@ -197,7 +214,6 @@ class ExternalSorter:
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(keys)
         runs: list[_SpillRun] = []
-        mirror = self._parallel_spill
         for start in range(0, n, mem_records):
             stop = min(start + mem_records, n)
             order = np.argsort(keys[start:stop], kind="stable")
@@ -207,13 +223,49 @@ class ExternalSorter:
             block["v"] = payloads[start:stop][order]
             run = PagedFile(self.disk, name=f"sort-run-{len(runs)}")
             run.write_stream(block.tobytes())
-            runs.append(
-                _SpillRun(run, stop - start, sorted_keys if mirror else None)
-            )
+            runs.append(self._spill_run(run, sorted_keys, rec_dtype))
         self.report.n_runs = len(runs)
         self.report.spilled = True
         self.report.run_pages = sum(run.file.n_pages for run in runs)
         return self._merge_spilled(runs, rec_dtype, mem_records)
+
+    def _spill_run(
+        self, file: PagedFile, sorted_keys: np.ndarray, rec_dtype: np.dtype
+    ) -> _SpillRun:
+        """Wrap a freshly written run with its cut-planning metadata."""
+        n = len(sorted_keys)
+        if not self._parallel_spill:
+            return _SpillRun(file, n)
+        if self.cut_planning == "fence":
+            from .fence import write_run_fence
+
+            fence = write_run_fence(file, sorted_keys, rec_dtype.itemsize)
+            return _SpillRun(file, n, keys=None, fence=fence)
+        return _SpillRun(file, n, keys=sorted_keys)
+
+    def _plan_cuts(self, group: list[_SpillRun], rec_dtype: np.dtype):
+        """Fence-mode splitters and exact cuts for one cascade group.
+
+        Splitters are sampled from the fences' per-page ``hi`` keys
+        (every sample is a real record key, including each run's tail)
+        and the cuts resolve with boundary-page planning reads on the
+        parent device — identical positions to cutting the full key
+        mirrors (:mod:`repro.storage.fence`).  Mirror mode returns
+        ``(None, None)``: the sharded merge plans from the mirrors.
+        """
+        if self.cut_planning != "fence":
+            return None, None
+        from ..parallel.merge import sample_splitters
+        from .fence import fenced_cut_positions
+
+        splitters = sample_splitters(
+            [run.fence.hi for run in group], self.merge_workers
+        )
+        cuts = [
+            fenced_cut_positions(run.file, run.fence, splitters, rec_dtype)
+            for run in group
+        ]
+        return splitters, cuts
 
     def _merge_spilled(
         self,
@@ -222,7 +274,7 @@ class ExternalSorter:
         mem_records: int,
     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         parallel = self._parallel_spill and all(
-            run.keys is not None for run in runs
+            run.keys is not None or run.fence is not None for run in runs
         )
         # Cascade until one merge pass suffices.  The grouping — and
         # with it the SortReport — is the same for the serial and the
@@ -254,6 +306,7 @@ class ExternalSorter:
             # shapes the serial merge would have yielded.
             from ..parallel.spill import sharded_stream_merge
 
+            splitters, cuts = self._plan_cuts(runs, rec_dtype)
             buffer_records = max(1, mem_records // (len(runs) + 1))
             return sharded_stream_merge(
                 self.disk,
@@ -263,6 +316,8 @@ class ExternalSorter:
                 buffer_records=buffer_records,
                 pool_kind=self.pool_kind,
                 engine=self.merge_engine,
+                splitters=splitters,
+                cuts=cuts,
             )
         return self._merge_runs(runs, rec_dtype, mem_records)
 
@@ -314,6 +369,7 @@ class ExternalSorter:
         # merging.  The I/O *plan* therefore depends on the worker
         # count only through the splitters.
         buffer_records = max(1, mem_records // (len(group) + 1))
+        splitters, cuts = self._plan_cuts(group, rec_dtype)
         result = sharded_spill_merge(
             self.disk,
             [(run.file, run.n_records, run.keys) for run in group],
@@ -322,9 +378,23 @@ class ExternalSorter:
             buffer_records=buffer_records,
             pool_kind=self.pool_kind,
             engine=self.merge_engine,
+            splitters=splitters,
+            cuts=cuts,
             collect="keys",
             out_name=name,
         )
+        if self.cut_planning == "fence":
+            # The merged keys exist transiently to fence the output run
+            # for the next pass; the resident state between passes is
+            # the zone map, not the mirror.
+            from .fence import write_run_fence
+
+            fence = write_run_fence(
+                result.file, result.keys, rec_dtype.itemsize
+            )
+            return _SpillRun(
+                result.file, result.n_records, keys=None, fence=fence
+            )
         return _SpillRun(result.file, result.n_records, result.keys)
 
     def _merge_runs(
@@ -379,7 +449,6 @@ class ExternalSorter:
 
             return chunks()
         self.report.spilled = True
-        mirror = self._parallel_spill
         files: list[_SpillRun] = []
         for keys, payloads in runs:
             block = np.empty(len(keys), dtype=rec_dtype)
@@ -387,7 +456,7 @@ class ExternalSorter:
             block["v"] = payloads
             run = PagedFile(self.disk, name=f"sort-run-{len(files)}")
             run.write_stream(block.tobytes())
-            files.append(_SpillRun(run, len(keys), keys if mirror else None))
+            files.append(self._spill_run(run, keys, rec_dtype))
         self.report.run_pages = sum(run.file.n_pages for run in files)
         return self._merge_spilled(files, rec_dtype, mem_records)
 

@@ -1,0 +1,215 @@
+"""Per-page fence (zone-map) keys for spilled sorted runs.
+
+A spilled run is a sorted record stream packed contiguously into a
+:class:`repro.storage.pager.PagedFile`.  The sharded parallel merge
+cascade (:mod:`repro.parallel.spill`) needs the position of every
+splitter key inside every run to cut the key space into disjoint
+partitions; carrying a full in-memory key *mirror* per run makes that
+planning free but costs O(records) resident memory between passes.
+
+A :class:`RunFence` is the classic zone map alternative: per record
+page, the first and last key of the records *starting* on that page —
+two keys per page instead of one per record.  It is written as a
+footer after the run's record pages (``write_run_fence``), read back
+with ordinary charged planning I/O (``read_run_fence``), and turned
+into **exact** record-level cut positions by
+:func:`fenced_cut_positions`:
+
+1. the sorted per-page ``hi`` keys locate the single *boundary page*
+   whose key range contains the splitter (records are globally sorted,
+   so pages form ascending key ranges);
+2. pages strictly before the boundary contribute all their records
+   (their record index range is pure geometry —
+   :func:`page_record_starts`);
+3. one planning read of the boundary page resolves the splitter's
+   offset within it with the shared ``side="left"`` rule.
+
+Because step 3 uses the same ``searchsorted(..., side="left")`` on the
+same record keys, the cuts are **identical** to
+:func:`repro.parallel.merge.run_cut_positions` on the full mirror for
+any splitter set — the invariant ``tests/test_fence.py`` pins — so the
+sharded merge stream stays bit-identical to the serial stable merge
+while planning touches one page per (run, splitter) instead of keeping
+every key resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def page_record_starts(
+    n_records: int, itemsize: int, page_size: int
+) -> np.ndarray:
+    """First record index starting on each record page, plus the end.
+
+    Records are packed contiguously from byte zero, so the first record
+    *starting* on page ``i`` is ``ceil(i * page_size / itemsize)``
+    (records may straddle page boundaries; a record belongs to the page
+    holding its first byte).  Returns ``n_record_pages + 1`` ascending
+    indices clipped to ``n_records``; page ``i`` owns records
+    ``[starts[i], starts[i + 1])``, possibly empty when a record spans
+    whole pages.
+    """
+    n_pages = max(1, -(-n_records * itemsize // page_size))
+    offsets = np.arange(n_pages + 1, dtype=np.int64) * page_size
+    starts = -(-offsets // itemsize)
+    return np.minimum(starts, n_records)
+
+
+@dataclass(frozen=True)
+class RunFence:
+    """Per-page key bounds of one spilled sorted run.
+
+    ``lo[i]`` / ``hi[i]`` are the first / last key of the records
+    starting on record page ``i``; pages owning no record start carry
+    their predecessor's ``hi`` so both arrays stay sorted.
+    """
+
+    n_records: int
+    itemsize: int
+    page_size: int
+    lo: np.ndarray
+    hi: np.ndarray
+
+    @property
+    def n_record_pages(self) -> int:
+        return len(self.hi)
+
+    @property
+    def starts(self) -> np.ndarray:
+        return page_record_starts(self.n_records, self.itemsize, self.page_size)
+
+
+def build_run_fence(
+    keys: np.ndarray, itemsize: int, page_size: int
+) -> RunFence:
+    """Fence a sorted key column as it is spilled (no I/O)."""
+    keys = np.asarray(keys)
+    if len(keys) == 0:
+        raise ValueError("cannot fence an empty run")
+    starts = page_record_starts(len(keys), itemsize, page_size)
+    n_pages = len(starts) - 1
+    lo = np.empty(n_pages, dtype=keys.dtype)
+    hi = np.empty(n_pages, dtype=keys.dtype)
+    prev = keys[0]
+    for i in range(n_pages):
+        if starts[i + 1] > starts[i]:
+            lo[i] = keys[starts[i]]
+            hi[i] = keys[starts[i + 1] - 1]
+            prev = hi[i]
+        else:  # a straddling record spans this whole page
+            lo[i] = prev
+            hi[i] = prev
+    return RunFence(
+        n_records=len(keys),
+        itemsize=itemsize,
+        page_size=page_size,
+        lo=lo,
+        hi=hi,
+    )
+
+
+def _footer_dtype(key_dtype: np.dtype) -> np.dtype:
+    return np.dtype([("lo", key_dtype), ("hi", key_dtype)])
+
+
+def write_run_fence(file, keys: np.ndarray, itemsize: int) -> RunFence:
+    """Append the fence footer after the run's record pages.
+
+    The footer is one ``(lo, hi)`` entry per record page, packed
+    directly behind the records; its geometry is derivable from
+    ``(n_records, itemsize, page_size)``, so no header is needed.
+    Returns the in-memory fence (the writer keeps it for the pass that
+    spilled the run; later passes re-read it from the footer).
+    """
+    fence = build_run_fence(keys, itemsize, file.disk.page_size)
+    footer = np.empty(fence.n_record_pages, dtype=_footer_dtype(keys.dtype))
+    footer["lo"] = fence.lo
+    footer["hi"] = fence.hi
+    file.write_stream(footer.tobytes(), at_page=fence.n_record_pages)
+    return fence
+
+
+def read_run_fence(
+    file, n_records: int, rec_dtype: np.dtype
+) -> RunFence:
+    """Read the fence footer back (charged planning I/O on ``file``)."""
+    key_dtype = rec_dtype["k"]
+    itemsize = rec_dtype.itemsize
+    page_size = file.disk.page_size
+    starts = page_record_starts(n_records, itemsize, page_size)
+    n_record_pages = len(starts) - 1
+    entry = _footer_dtype(key_dtype)
+    footer_bytes = n_record_pages * entry.itemsize
+    footer_pages = -(-footer_bytes // page_size)
+    blob = bytes(file.read_stream(n_record_pages, footer_pages))
+    footer = np.frombuffer(blob[:footer_bytes], dtype=entry)
+    return RunFence(
+        n_records=n_records,
+        itemsize=itemsize,
+        page_size=page_size,
+        lo=footer["lo"].copy(),
+        hi=footer["hi"].copy(),
+    )
+
+
+def fenced_cut_positions(
+    file, fence: RunFence, splitters: np.ndarray, rec_dtype: np.dtype
+) -> np.ndarray:
+    """Exact splitter cuts from the fence plus boundary-page reads.
+
+    Same contract as :func:`repro.parallel.merge.run_cut_positions` on
+    the run's full key mirror — ``len(splitters) + 2`` ascending record
+    indices with the ``side="left"`` tie rule — but planned from two
+    keys per page.  Each splitter resolves with at most one planning
+    read (the boundary page, plus its straddle page when the last
+    record starting on it crosses the page edge), and reads are cached
+    per page, so splitters landing on the same page share one read.
+    """
+    starts = fence.starts
+    page_size = fence.page_size
+    itemsize = fence.itemsize
+    key_dtype = rec_dtype["k"]
+    cuts = np.empty(len(splitters) + 2, dtype=np.int64)
+    cuts[0] = 0
+    cuts[-1] = fence.n_records
+    page_keys_cache: dict[int, np.ndarray] = {}
+
+    def keys_on_page(p: int) -> np.ndarray:
+        cached = page_keys_cache.get(p)
+        if cached is not None:
+            return cached
+        r_lo, r_hi = int(starts[p]), int(starts[p + 1])
+        byte_lo = r_lo * itemsize
+        byte_hi = (r_hi - 1) * itemsize + key_dtype.itemsize
+        first = byte_lo // page_size
+        last = -(-byte_hi // page_size)
+        blob = bytes(file.read_stream(first, last - first))
+        at = byte_lo - first * page_size
+        keys = np.empty(r_hi - r_lo, dtype=key_dtype)
+        for i in range(r_hi - r_lo):
+            keys[i] = np.frombuffer(
+                blob[at : at + key_dtype.itemsize], dtype=key_dtype
+            )[0]
+            at += itemsize
+        page_keys_cache[p] = keys
+        return keys
+
+    for s, splitter in enumerate(np.asarray(splitters, dtype=fence.hi.dtype)):
+        # First page whose key range reaches the splitter; every earlier
+        # page's records are all < splitter, every later page's >= it.
+        p = int(np.searchsorted(fence.hi, splitter, side="left"))
+        # Skip record-less pages forward: same hi, nothing to read.
+        while p < fence.n_record_pages and starts[p + 1] == starts[p]:
+            p += 1
+        if p >= fence.n_record_pages:
+            cuts[s + 1] = fence.n_records
+            continue
+        within = int(
+            np.searchsorted(keys_on_page(p), splitter, side="left")
+        )
+        cuts[s + 1] = int(starts[p]) + within
+    return cuts

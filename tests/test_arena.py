@@ -166,6 +166,78 @@ def test_shard_detach_splices_without_per_page_copies():
     assert bytes(disk.read_run_bytes(extent, extent_pages)) == payload
 
 
+# ------------------------------------------------- extent coalescing
+def test_adjacent_extents_coalesce_into_one_arena():
+    """Back-to-back allocations grow the tail arena in place."""
+    disk = SimulatedDisk(page_size=64)
+    first = disk.allocate(4)
+    second = disk.allocate(4)
+    assert second == first + 4  # physically adjacent
+    assert len(disk._arenas.arenas) == 1
+    payload = bytes(range(256)) * 2
+    disk.write_run_bytes(first, payload, 8)
+    # A run spanning both allocate calls is one zero-copy view.
+    view = disk.read_run_bytes(first, 8)
+    assert isinstance(view, memoryview) and view.readonly
+    assert view.obj is disk._arenas.arenas[0]
+    assert bytes(view) == payload
+
+
+def test_coalescing_backs_off_while_views_are_exported():
+    """A live memoryview pins the tail arena; growth must not move it."""
+    disk = SimulatedDisk(page_size=64)
+    first = disk.allocate(2)
+    disk.write_page(first, b"pinned")
+    held = disk.read_page(first)  # exported view of the tail arena
+    second = disk.allocate(2)
+    assert second == first + 2
+    # BufferError fallback: a separate arena, the held view intact.
+    assert len(disk._arenas.arenas) == 2
+    assert bytes(held)[:6] == b"pinned"
+    disk.write_page(second, b"new")
+    assert bytes(disk.read_page(second))[:3] == b"new"
+    # Cross-boundary runs still read correctly (joined copy path).
+    assert bytes(disk.read_run_bytes(first, 4))[:6] == b"pinned"
+    del held
+    # With the export gone the next adjacent extent coalesces again.
+    third = disk.allocate(2)
+    assert third == second + 2
+    assert len(disk._arenas.arenas) == 2
+
+
+def test_incrementally_grown_file_reads_back_zero_copy():
+    """An extent-at-a-time file stays on the zero-copy read path.
+
+    Before coalescing, each ``allocate`` call made its own arena and a
+    whole-file read joined them through a bytes copy; now the read is
+    a single arena slice, pinned by tracemalloc staying far below the
+    file size.
+    """
+    page_size, n_extents, extent_pages = 1024, 16, 8
+    disk = SimulatedDisk(page_size=page_size)
+    rng = np.random.default_rng(5)
+    first = None
+    for i in range(n_extents):
+        start = disk.allocate(extent_pages)
+        first = start if first is None else first
+        disk.write_run_bytes(
+            start,
+            bytes(rng.integers(0, 256, size=extent_pages * page_size,
+                               dtype=np.uint8)),
+            extent_pages,
+        )
+    assert len(disk._arenas.arenas) == 1
+    total_pages = n_extents * extent_pages
+    tracemalloc.start()
+    view = disk.read_run_bytes(first, total_pages)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert isinstance(view, memoryview)
+    assert view.obj is disk._arenas.arenas[0]
+    # 128 KiB of data read with no materialized copy.
+    assert peak < total_pages * page_size // 8
+
+
 # ------------------------------------------------- cross-store oracle
 def _random_ops(disk, rng):
     """Drive one device with a deterministic mixed op sequence."""

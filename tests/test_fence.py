@@ -1,0 +1,186 @@
+"""Fence (zone-map) cut planning for spilled runs.
+
+The load-bearing property: :func:`repro.storage.fence.
+fenced_cut_positions` — planned from two keys per page plus
+boundary-page reads — returns **identical** record positions to
+:func:`repro.parallel.merge.run_cut_positions` on the run's full
+in-memory key mirror, for any sorted run, record geometry and splitter
+set.  On top of that, the fence-planned sharded sort cascade produces
+the bit-identical merged stream the mirror-planned and fully-serial
+sorts produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.merge import run_cut_positions, sample_splitters
+from repro.storage import (
+    ExternalSorter,
+    PagedFile,
+    SimulatedDisk,
+    build_run_fence,
+    fenced_cut_positions,
+    page_record_starts,
+    read_run_fence,
+    write_run_fence,
+)
+
+
+def _spill(disk, keys, payload_cols, rec_dtype):
+    """Write one sorted run file the way the sorter spills it."""
+    block = np.empty(len(keys), dtype=rec_dtype)
+    block["k"] = keys
+    block["v"] = payload_cols
+    file = PagedFile(disk, name="run")
+    file.write_stream(block.tobytes())
+    return file
+
+
+def _sorted_keys(rng, n, width=8):
+    raw = rng.integers(0, 256, size=(n, width), dtype=np.uint8)
+    return np.sort(raw.view(f"S{width}").ravel())
+
+
+# ------------------------------------------------- geometry + format
+def test_page_record_starts_owns_every_record_once():
+    starts = page_record_starts(n_records=10, itemsize=48, page_size=64)
+    assert starts[0] == 0 and starts[-1] == 10
+    assert np.all(np.diff(starts) >= 0)
+    # 48-byte records on 64-byte pages straddle constantly; the ranges
+    # still tile [0, 10) exactly.
+    assert sum(int(b - a) for a, b in zip(starts, starts[1:])) == 10
+
+
+def test_fence_footer_round_trips():
+    rng = np.random.default_rng(0)
+    rec_dtype = np.dtype([("k", "S8"), ("v", np.int64)])
+    disk = SimulatedDisk(page_size=128)
+    keys = _sorted_keys(rng, 300)
+    file = _spill(disk, keys, np.arange(300), rec_dtype)
+    record_pages = file.n_pages
+    fence = write_run_fence(file, keys, rec_dtype.itemsize)
+    assert file.n_pages > record_pages  # footer appended after records
+    back = read_run_fence(file, len(keys), rec_dtype)
+    np.testing.assert_array_equal(back.lo, fence.lo)
+    np.testing.assert_array_equal(back.hi, fence.hi)
+    assert back.n_record_pages == record_pages
+    # The fence brackets the mirror per page.
+    starts = fence.starts
+    for i in range(fence.n_record_pages):
+        if starts[i + 1] > starts[i]:
+            assert fence.lo[i] == keys[starts[i]]
+            assert fence.hi[i] == keys[starts[i + 1] - 1]
+
+
+# ------------------------------------------------- cut equivalence
+@pytest.mark.parametrize("page_size", [64, 128, 1024])
+@pytest.mark.parametrize("payload_width", [1, 5])
+def test_fenced_cuts_identical_to_mirror_cuts(page_size, payload_width):
+    """The satellite's pin: fence cuts == mirror cuts, same splitters."""
+    rec_dtype = np.dtype([("k", "S8"), ("v", np.float32, (payload_width,))])
+    for seed in range(6):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 800))
+        # Heavy duplication stresses the side="left" tie rule.
+        keys = _sorted_keys(rng, n, width=8)
+        dup = rng.integers(0, n, size=n // 3)
+        keys[dup] = keys[np.minimum(dup + 1, n - 1)]
+        keys = np.sort(keys)
+        disk = SimulatedDisk(page_size=page_size)
+        file = _spill(
+            disk, keys, rng.standard_normal((n, payload_width)), rec_dtype
+        )
+        fence = write_run_fence(file, keys, rec_dtype.itemsize)
+        # Splitters both inside and outside the key range, including
+        # exact key hits (the tie boundary).
+        picks = keys[rng.integers(0, n, size=4)]
+        outside = np.array([b"\x00" * 8, b"\xff" * 8], dtype="S8")
+        splitters = np.unique(np.concatenate([picks, outside]))
+        got = fenced_cut_positions(file, fence, splitters, rec_dtype)
+        want = run_cut_positions(keys, splitters)
+        np.testing.assert_array_equal(got, want), (seed, page_size)
+        # And with sampled splitters (what the cascade actually uses).
+        sampled = sample_splitters([fence.hi], 4)
+        np.testing.assert_array_equal(
+            fenced_cut_positions(file, fence, sampled, rec_dtype),
+            run_cut_positions(keys, sampled),
+        )
+
+
+def test_fenced_cuts_charge_planning_io():
+    rng = np.random.default_rng(3)
+    rec_dtype = np.dtype([("k", "S8"), ("v", np.int64)])
+    disk = SimulatedDisk(page_size=256)
+    keys = _sorted_keys(rng, 1000)
+    file = _spill(disk, keys, np.arange(1000), rec_dtype)
+    fence = write_run_fence(file, keys, rec_dtype.itemsize)
+    splitters = sample_splitters([fence.hi], 4)
+    disk.reset_stats()
+    fenced_cut_positions(file, fence, splitters, rec_dtype)
+    reads = disk.stats.sequential_reads + disk.stats.random_reads
+    assert 0 < reads <= 2 * len(splitters)  # boundary pages only
+
+
+# ------------------------------------------------- end-to-end cascade
+def test_fence_planned_sort_matches_mirror_and_serial():
+    """Same merged stream from all three planners, cascade included."""
+    rng = np.random.default_rng(17)
+    n = 4000
+    raw = rng.integers(0, 256, size=(n, 8), dtype=np.uint8)
+    keys = raw.view("S8").ravel()
+    payloads = rng.standard_normal((n, 4)).astype(np.float32)
+    outputs = {}
+    for label, kwargs in {
+        "serial": dict(merge_workers=1),
+        "mirror": dict(merge_workers=3, cut_planning="mirror"),
+        "fence": dict(merge_workers=3, cut_planning="fence"),
+    }.items():
+        disk = SimulatedDisk(page_size=1024)
+        sorter = ExternalSorter(disk, 4096 * 4, pool_kind="serial", **kwargs)
+        parts = list(sorter.sort(keys, payloads))
+        assert sorter.report.spilled
+        outputs[label] = (
+            np.concatenate([k for k, _ in parts]),
+            np.concatenate([p for _, p in parts]),
+        )
+    for label in ("mirror", "fence"):
+        np.testing.assert_array_equal(outputs[label][0], outputs["serial"][0])
+        np.testing.assert_array_equal(outputs[label][1], outputs["serial"][1])
+
+
+def test_fence_mode_drops_key_mirrors_between_passes():
+    """Resident planning state is the zone map, not the key column."""
+    rng = np.random.default_rng(23)
+    n = 6000
+    keys = rng.integers(0, 256, size=(n, 8), dtype=np.uint8).view("S8").ravel()
+    payloads = np.arange(n, dtype=np.int64)
+    disk = SimulatedDisk(page_size=512)
+    # Tiny memory forces a cascade (fan-in 2), so intermediate merged
+    # runs exist — in fence mode none may carry a key mirror.
+    sorter = ExternalSorter(
+        disk, 2048, merge_workers=2, pool_kind="serial", cut_planning="fence"
+    )
+    seen = {"runs": 0}
+    original = sorter._plan_cuts
+
+    def spy(group, rec_dtype):
+        for run in group:
+            assert run.keys is None
+            assert run.fence is not None
+        seen["runs"] += len(group)
+        return original(group, rec_dtype)
+
+    sorter._plan_cuts = spy
+    parts = list(sorter.sort(keys, payloads))
+    assert sorter.report.merge_passes > 1  # the cascade really ran
+    assert seen["runs"] > 0
+    merged = np.concatenate([k for k, _ in parts])
+    np.testing.assert_array_equal(merged, np.sort(keys, kind="stable"))
+
+
+def test_cut_planning_validation():
+    disk = SimulatedDisk(page_size=512)
+    with pytest.raises(ValueError, match="cut_planning"):
+        ExternalSorter(disk, 4096, cut_planning="psychic")
+    with pytest.raises(ValueError):
+        build_run_fence(np.empty(0, dtype="S8"), 16, 512)
