@@ -49,6 +49,7 @@ from .parallel import (
     parallel_invsax_keys,
     parallel_merge_runs,
 )
+from .service import CoconutService, ServiceConfig
 from .series import (
     astronomy,
     dtw,
@@ -80,6 +81,7 @@ __all__ = [
     "BatchReport",
     "BufferPool",
     "BuildReport",
+    "CoconutService",
     "CoconutTree",
     "CoconutTrie",
     "CostModel",
@@ -97,6 +99,7 @@ __all__ = [
     "SAXConfig",
     "SerialScan",
     "SeriesIndex",
+    "ServiceConfig",
     "ShardedDisk",
     "SimulatedDisk",
     "VerticalIndex",

@@ -57,6 +57,7 @@ from .harness import (
     run_parallel_build_sweep,
     run_query_experiment,
     run_sched_sweep,
+    run_serve_sweep,
     run_spilled_merge_sweep,
     run_update_workload,
 )
@@ -422,6 +423,34 @@ def _run_updates(args: argparse.Namespace, spec: DatasetSpec) -> None:
     print_experiment("mixed insert/query workload", rows)
 
 
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--queries", type=int, default=64)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--batch-rows", type=int, default=200)
+    parser.add_argument("--batches", type=int, default=10)
+    parser.add_argument("--k", type=int, default=3)
+
+
+def _run_serve(args: argparse.Namespace, spec: DatasetSpec) -> None:
+    rows = run_serve_sweep(
+        spec,
+        n_queries=args.queries,
+        workers_list=args.workers,
+        batch_rows=args.batch_rows,
+        n_batches=args.batches,
+        k=args.k,
+    )
+    print_experiment(
+        "online service: concurrent ingest + query serving",
+        rows,
+        columns=[
+            "workers", "cores", "n_series", "ingest_rows_per_s",
+            "queries_per_s", "p50_ms", "p99_ms", "served", "shed",
+            "degraded_batches", "session_conflicts", "identical",
+        ],
+    )
+
+
 #: The single registration table every subcommand lives in.
 COMMANDS: tuple[_Command, ...] = (
     _Command("build", "construction vs memory sweep",
@@ -451,6 +480,9 @@ COMMANDS: tuple[_Command, ...] = (
              lambda parser: None, _run_space),
     _Command("updates", "mixed insert/query workload",
              _configure_updates, _run_updates),
+    _Command("serve",
+             "online service: concurrent ingest + query serving",
+             _configure_serve, _run_serve),
 )
 
 _BY_NAME = {command.name: command for command in COMMANDS}

@@ -157,6 +157,14 @@ class CoconutLSM(SeriesIndex):
         self.n_merges = 0
         self.n_rebuilt_runs = 0
         self.n_degraded_compactions = 0
+        # Monotone counter bumped whenever the queryable state (runs,
+        # memtable, raw watermark) changes; snapshot caches key on it.
+        self.state_version = 0
+        # Healing seams for compaction, set by long-lived owners (the
+        # online service): an explicit RetryPolicy and a HealReport
+        # accumulating sharded-compaction attempt counts.
+        self._heal_policy = None
+        self._heal_report = None
 
     # ------------------------------------------------------------------
     @property
@@ -190,6 +198,7 @@ class CoconutLSM(SeriesIndex):
                 )
             self._bulk_load(raw)
         self.built = True
+        self.state_version += 1
         return BuildReport(
             index_name=self.name,
             n_series=raw.n_series,
@@ -243,6 +252,7 @@ class CoconutLSM(SeriesIndex):
                 np.arange(first, first + len(data), dtype=np.int64)
             )
             self._mem_records += len(data)
+            self.state_version += 1
             if self._mem_records >= self._buffer_capacity:
                 self._flush_memtable()
         return BuildReport(
@@ -417,6 +427,8 @@ class CoconutLSM(SeriesIndex):
             collect="records",
             out_name=f"lsm-L{level + 1}-run",
             wrap_device=getattr(self, "_compact_wrap_device", None),
+            heal_policy=self._heal_policy,
+            heal_report=self._heal_report,
         )
         new_run = _Run(
             file=result.file,

@@ -61,6 +61,8 @@ from .heal import (
     HEAL_BACKOFF_CAP_S,
     HEAL_BACKOFF_S,
     HEAL_RETRIES,
+    HealReport,
+    RetryPolicy,
     run_self_healing,
 )
 from .merge import (
@@ -108,8 +110,10 @@ __all__ = [
     "HEAL_BACKOFF_CAP_S",
     "HEAL_BACKOFF_S",
     "HEAL_RETRIES",
+    "HealReport",
     "ParallelSummarizer",
     "PlanReport",
+    "RetryPolicy",
     "ShardedMergeResult",
     "SharedBoundBoard",
     "approx_query_batch",

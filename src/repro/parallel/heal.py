@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import logging
 import time
+from dataclasses import dataclass
 
 from ..storage.faults import FaultError, TransientIOError
 
@@ -53,6 +54,8 @@ __all__ = [
     "HEAL_RETRIES",
     "HEAL_BACKOFF_S",
     "HEAL_BACKOFF_CAP_S",
+    "RetryPolicy",
+    "HealReport",
     "run_self_healing",
 ]
 
@@ -66,13 +69,76 @@ HEAL_BACKOFF_S = 0.002
 HEAL_BACKOFF_CAP_S = 0.05
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Explicit retry/backoff policy for :func:`run_self_healing`.
+
+    ``retries`` transient retries (attempts = retries + 1), capped
+    exponential backoff starting at ``backoff_s`` and never exceeding
+    ``backoff_cap_s`` per sleep.  Frozen so a policy can be shared
+    between the service front-end, the LSM compaction seam and the
+    query engines without aliasing surprises.
+    """
+
+    retries: int = HEAL_RETRIES
+    backoff_s: float = HEAL_BACKOFF_S
+    backoff_cap_s: float = HEAL_BACKOFF_CAP_S
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay(self, retry_index: int) -> float:
+        """Sleep before retry ``retry_index`` (0-based): capped doubling."""
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** retry_index))
+
+
+@dataclass
+class HealReport:
+    """Mutable accumulator of healing activity across calls.
+
+    Engines add to a caller-provided report so a long-lived consumer
+    (the online service's :class:`~repro.service.stats.ServiceStats`)
+    can export attempt counts without re-deriving them from logs.
+    """
+
+    n_calls: int = 0
+    n_attempts: int = 0
+    n_retries: int = 0
+    n_transient_faults: int = 0
+    n_fatal_faults: int = 0
+    n_degraded: int = 0
+
+    def merge(self, other: "HealReport") -> None:
+        self.n_calls += other.n_calls
+        self.n_attempts += other.n_attempts
+        self.n_retries += other.n_retries
+        self.n_transient_faults += other.n_transient_faults
+        self.n_fatal_faults += other.n_fatal_faults
+        self.n_degraded += other.n_degraded
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.n_calls,
+            "attempts": self.n_attempts,
+            "retries": self.n_retries,
+            "transient_faults": self.n_transient_faults,
+            "fatal_faults": self.n_fatal_faults,
+            "degraded": self.n_degraded,
+        }
+
+
 def run_self_healing(
     attempt,
     fallback=None,
-    retries: int = HEAL_RETRIES,
-    backoff_s: float = HEAL_BACKOFF_S,
-    backoff_cap_s: float = HEAL_BACKOFF_CAP_S,
+    retries: "int | None" = None,
+    backoff_s: "float | None" = None,
+    backoff_cap_s: "float | None" = None,
     label: str = "parallel plan",
+    policy: "RetryPolicy | None" = None,
+    report: "HealReport | None" = None,
 ):
     """Run ``attempt(attempt_index)``, retrying transients, else degrade.
 
@@ -82,28 +148,54 @@ def run_self_healing(
     invoked after a non-transient fault or once transient retries are
     exhausted; with no fallback the last fault is re-raised.
 
+    The policy may be given as an explicit :class:`RetryPolicy` or via
+    the legacy ``retries``/``backoff_s``/``backoff_cap_s`` keywords
+    (which override the matching policy fields).  When ``report`` is
+    given, attempt/retry/degradation counts are accumulated onto it.
+
     Only :class:`~repro.storage.faults.FaultError` is healed.  Any
     other exception (a bug, a bad argument) propagates immediately:
     masking it behind a retry or a silent serial fallback would hide
     real defects.
     """
+    base = policy if policy is not None else RetryPolicy()
+    if retries is not None or backoff_s is not None or backoff_cap_s is not None:
+        base = RetryPolicy(
+            retries=base.retries if retries is None else retries,
+            backoff_s=base.backoff_s if backoff_s is None else backoff_s,
+            backoff_cap_s=(
+                base.backoff_cap_s if backoff_cap_s is None else backoff_cap_s
+            ),
+        )
+    if report is not None:
+        report.n_calls += 1
     last: "FaultError | None" = None
-    for index in range(retries + 1):
+    for index in range(base.retries + 1):
+        if report is not None:
+            report.n_attempts += 1
+            if index:
+                report.n_retries += 1
         try:
             return attempt(index)
         except TransientIOError as error:
             last = error
+            if report is not None:
+                report.n_transient_faults += 1
             logger.warning(
                 "%s: transient device fault on attempt %d/%d: %s",
-                label, index + 1, retries + 1, error,
+                label, index + 1, base.retries + 1, error,
             )
-            if index < retries:
-                time.sleep(min(backoff_cap_s, backoff_s * (2 ** index)))
+            if index < base.retries:
+                time.sleep(base.delay(index))
         except FaultError as error:
             last = error
+            if report is not None:
+                report.n_fatal_faults += 1
             logger.warning("%s: non-retryable device fault: %s", label, error)
             break
     if fallback is None:
         raise last
+    if report is not None:
+        report.n_degraded += 1
     logger.warning("%s: degrading to the serial engine", label)
     return fallback()

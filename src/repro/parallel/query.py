@@ -257,6 +257,7 @@ def parallel_batched_exact_knn(
     scan_workers: int | None = None,
     scan_pool_kind: str | None = None,
     min_fetch_records: int = 1,
+    heal_report=None,
 ):
     """Exact k-NN for a batch, both SIMS phases on worker pools.
 
@@ -324,13 +325,13 @@ def parallel_batched_exact_knn(
             seeds[:half], workers, pool_kind, block_records, wrap_device,
             bound_sharing=bound_sharing, bound_cadence=bound_cadence,
             scan_workers=scan_workers, scan_pool_kind=scan_pool_kind,
-            min_fetch_records=min_fetch_records,
+            min_fetch_records=min_fetch_records, heal_report=heal_report,
         ) + parallel_batched_exact_knn(
             queries[half:], k, words, config, make_fetch, disk,
             seeds[half:], workers, pool_kind, block_records, wrap_device,
             bound_sharing=bound_sharing, bound_cadence=bound_cadence,
             scan_workers=scan_workers, scan_pool_kind=scan_pool_kind,
-            min_fetch_records=min_fetch_records,
+            min_fetch_records=min_fetch_records, heal_report=heal_report,
         )
     seeds = seeds or [[] for _ in range(n_queries)]
     heaps = seeded_heaps(n_queries, k, seeds)
@@ -366,6 +367,7 @@ def parallel_batched_exact_knn(
             # construction.
             fallback=lambda: None,
             label="parallel query fetch",
+            report=heal_report,
         )
         if results is None:
             return batched_exact_knn(
@@ -457,6 +459,7 @@ def parallel_sims_query_batch(
     wrap_device=None, bound_sharing: str = "off", bound_board=None,
     bound_cadence: str = "block", scan_workers: int | None = None,
     scan_pool_kind: str | None = None, min_fetch_records: int = 1,
+    heal_report=None,
 ) -> BatchReport:
     """Multi-worker ``query_batch`` for SIMS-backed indexes.
 
@@ -493,12 +496,14 @@ def parallel_sims_query_batch(
             scan_workers=scan_workers,
             scan_pool_kind=scan_pool_kind,
             min_fetch_records=min_fetch_records,
+            heal_report=heal_report,
         )
     return build_batch_report(outcomes, measure)
 
 
 def parallel_serial_scan_batch(
     index, batch, query_workers, pool_kind: str = "auto", wrap_device=None,
+    heal_report=None,
 ) -> BatchReport:
     """Multi-worker batched brute-force scan (the SerialScan path).
 
@@ -586,6 +591,7 @@ def parallel_serial_scan_batch(
                 # scan on the parent device.
                 fallback=lambda: [scan_range(0, raw.n_series, index.disk)],
                 label="parallel serial scan",
+                report=heal_report,
             )
         for local in results:
             for heap, partial in zip(heaps, local):

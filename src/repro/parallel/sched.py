@@ -453,6 +453,7 @@ def run_sims_query_batch(
     cost_model: QueryCostModel | None = None,
     wrap_device=None,
     bound_board=None,
+    heal_report=None,
 ) -> BatchReport:
     """Plan and execute one batch on a SIMS-backed Coconut index.
 
@@ -481,6 +482,7 @@ def run_sims_query_batch(
                 workers=plan.workers,
                 pool_kind=query_pool_kind,
                 wrap_device=wrap_device,
+                heal_report=heal_report,
             )
         else:
             report = approx_query_batch(index, batch)
@@ -498,6 +500,7 @@ def run_sims_query_batch(
             scan_workers=plan.scan_workers,
             scan_pool_kind=plan.scan_pool_kind,
             min_fetch_records=plan.min_fetch_records,
+            heal_report=heal_report,
         )
     else:
         report = sims_query_batch(index, batch, index._prepare_sims)
@@ -511,6 +514,7 @@ def parallel_approx_batch(
     workers: int | None = 2,
     pool_kind: str = "auto",
     wrap_device=None,
+    heal_report=None,
 ) -> BatchReport:
     """Range-partitioned approximate batch on read-only shard sessions.
 
@@ -575,6 +579,7 @@ def parallel_approx_batch(
                 attempt,
                 fallback=lambda: None,
                 label="parallel approximate batch",
+                report=heal_report,
             )
             if parts is None:
                 pairs = index._approx_answer_subset(queries, ctx, order)

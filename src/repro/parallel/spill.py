@@ -69,7 +69,7 @@ from ..storage.merge import (
     merge_stream,
 )
 from ..storage.pager import PagedFile
-from .heal import HEAL_RETRIES, run_self_healing
+from .heal import HEAL_RETRIES, HealReport, RetryPolicy, run_self_healing
 from .merge import run_cut_positions, sample_splitters
 
 #: Pages cached by each worker's shard-scoped read pool.  Source reads
@@ -89,6 +89,7 @@ class ShardedMergeResult:
     splitters: np.ndarray
     keys: np.ndarray | None = None  # merged key column (collect="keys"/"records")
     payloads: np.ndarray | None = None  # merged payloads (collect="records")
+    n_heal_attempts: int = 1  # attempts the healing loop spent on this merge
 
 
 class _ExtentWriter:
@@ -245,7 +246,9 @@ def sharded_spill_merge(
     collect: str | None = None,
     out_name: str = "sharded-merge",
     wrap_device=None,
-    heal_retries: int = HEAL_RETRIES,
+    heal_retries: "int | None" = None,
+    heal_policy: "RetryPolicy | None" = None,
+    heal_report: "HealReport | None" = None,
 ) -> ShardedMergeResult:
     """Merge spilled runs into one new run via per-partition shards.
 
@@ -281,11 +284,13 @@ def sharded_spill_merge(
         every partition's I/O is routed through its return value.  When
         an attempt raises a device fault the session aborts (parent
         unfenced, output extent untouched) and transients are retried
-        up to ``heal_retries`` times — a successful retry re-issues the
-        same plan against the same pre-allocated extent, so the result
-        and reconciled stats are bit-identical to a fault-free run.
-        Non-transient faults propagate; the caller degrades (e.g.
-        ``CoconutLSM`` falls back to its serial compaction).
+        per ``heal_policy`` (or the legacy ``heal_retries`` override) —
+        a successful retry re-issues the same plan against the same
+        pre-allocated extent, so the result and reconciled stats are
+        bit-identical to a fault-free run.  Non-transient faults
+        propagate; the caller degrades (e.g. ``CoconutLSM`` falls back
+        to its serial compaction).  Attempt counts land on the result's
+        ``n_heal_attempts`` and, when given, on ``heal_report``.
     """
     if engine not in MERGE_ENGINES:
         raise ValueError(f"engine must be one of {MERGE_ENGINES}, got {engine!r}")
@@ -346,9 +351,20 @@ def sharded_spill_merge(
                     executor.map(lambda task: _merge_partition_to_shard(*task), tasks)
                 )
 
-    results = run_self_healing(
-        attempt, retries=heal_retries, label=f"sharded spill merge {out_name!r}"
-    )
+    local_report = HealReport()
+    try:
+        results = run_self_healing(
+            attempt,
+            retries=heal_retries,
+            policy=heal_policy,
+            report=local_report,
+            label=f"sharded spill merge {out_name!r}",
+        )
+    finally:
+        # Merge even when the fault propagates: the caller's degraded
+        # serial compaction still wants the attempts it paid for.
+        if heal_report is not None:
+            heal_report.merge(local_report)
     fragments = [piece for frags, _, _ in results for piece in frags]
     _write_boundary_pages(disk, out_first, fragments)
     keys = payloads = None
@@ -364,6 +380,7 @@ def sharded_spill_merge(
         splitters=splitters,
         keys=keys,
         payloads=payloads,
+        n_heal_attempts=local_report.n_attempts,
     )
 
 

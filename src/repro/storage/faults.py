@@ -353,6 +353,17 @@ class FaultyDevice:
         # Diagnostic path: no accounting on the inner device, no faults.
         return self.inner.page_view(page_id)
 
+    def halt(self) -> None:
+        """Latch the crashed state explicitly (no plan involvement).
+
+        Chaos schedules use this to pull the plug at a chosen step —
+        every subsequent read/write raises :class:`DeviceCrash` until
+        :meth:`reopen` — without weaving the crash into the seeded
+        per-operation plan, so the same :class:`FaultPlan` stays
+        comparable across schedules that crash at different points.
+        """
+        self.crashed = True
+
     def reopen(self) -> None:
         """Clear the crashed latch, modelling a power-cycle + reopen."""
         self.crashed = False

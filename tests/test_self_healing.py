@@ -346,3 +346,122 @@ def test_shape_mismatch_is_not_healed_into_silence():
             ix, bad, 3, "thread", wrap_device=transient_wrap(1, p=0.0)
         )
     disk.allocate(1)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy + HealReport (the service's healing surface)
+# ----------------------------------------------------------------------
+def test_retry_policy_delay_is_capped_doubling():
+    from repro.parallel.heal import RetryPolicy
+
+    policy = RetryPolicy(retries=5, backoff_s=0.01, backoff_cap_s=0.03)
+    assert [policy.delay(i) for i in range(4)] == [0.01, 0.02, 0.03, 0.03]
+    with pytest.raises(ValueError):
+        RetryPolicy(retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_s=-0.1)
+
+
+def test_explicit_policy_drives_attempt_budget():
+    from repro.parallel.heal import RetryPolicy
+
+    calls = []
+
+    def attempt(i):
+        calls.append(i)
+        raise TransientIOError("always")
+
+    with pytest.raises(TransientIOError):
+        run_self_healing(
+            attempt, policy=RetryPolicy(retries=3, backoff_s=0.0)
+        )
+    assert calls == [0, 1, 2, 3]
+
+
+def test_legacy_kwargs_override_policy_fields():
+    from repro.parallel.heal import RetryPolicy
+
+    calls = []
+
+    def attempt(i):
+        calls.append(i)
+        raise TransientIOError("always")
+
+    with pytest.raises(TransientIOError):
+        run_self_healing(
+            attempt,
+            retries=1,  # overrides the policy's 5
+            policy=RetryPolicy(retries=5, backoff_s=0.0),
+        )
+    assert calls == [0, 1]
+
+
+def test_heal_report_accumulates_across_calls():
+    from repro.parallel.heal import HealReport, RetryPolicy
+
+    report = HealReport()
+    policy = RetryPolicy(retries=2, backoff_s=0.0)
+    # One healed call: two transient faults then success.
+    state = {"n": 0}
+
+    def flaky(i):
+        state["n"] += 1
+        if state["n"] < 3:
+            raise TransientIOError("flaky")
+        return "ok"
+
+    assert run_self_healing(flaky, policy=policy, report=report) == "ok"
+    # One degraded call: a permanent fault straight to the fallback.
+    def dead(i):
+        raise PermanentIOError("dead")
+
+    assert (
+        run_self_healing(dead, fallback=lambda: "serial", policy=policy, report=report)
+        == "serial"
+    )
+    assert report.n_calls == 2
+    assert report.n_attempts == 4  # 3 flaky + 1 dead
+    assert report.n_retries == 2
+    assert report.n_transient_faults == 2
+    assert report.n_fatal_faults == 1
+    assert report.n_degraded == 1
+    merged = HealReport()
+    merged.merge(report)
+    merged.merge(report)
+    assert merged.n_attempts == 8
+    assert merged.as_dict()["calls"] == 4
+
+
+def test_spill_merge_reports_heal_attempts():
+    from repro.parallel.heal import HealReport
+
+    disk = SimulatedDisk(page_size=PAGE, store="arena")
+    rec_dtype = np.dtype([("k", "S8"), ("v", "<i8")])
+    rng = np.random.default_rng(21)
+    sources = []
+    for _ in range(2):
+        letters = rng.integers(65, 91, size=(200, 8), dtype=np.uint8)
+        keys = np.sort(letters.view("S8").ravel())
+        block = np.empty(len(keys), dtype=rec_dtype)
+        block["k"] = keys
+        block["v"] = np.arange(len(keys))
+        file = PagedFile(disk, name="src")
+        file.write_stream(block.tobytes(), at_page=0)
+        sources.append((file, len(keys), block["k"].copy()))
+    report = HealReport()
+    result = sharded_spill_merge(
+        disk, sources, rec_dtype, 2, 64,
+        wrap_device=transient_wrap(9, p=0.2), heal_report=report,
+    )
+    assert result.n_heal_attempts == report.n_attempts >= 1
+    assert report.n_calls == 1
+    # Even when the merge gives up, the attempts are still reported.
+    report2 = HealReport()
+    with pytest.raises(PermanentIOError):
+        sharded_spill_merge(
+            disk, sources, rec_dtype, 2, 64,
+            wrap_device=permanent_wrap, heal_report=report2,
+        )
+    assert report2.n_fatal_faults == 1
+    assert report2.n_degraded == 0  # no fallback at this layer
+    disk.allocate(1)  # parent unfenced either way

@@ -1,0 +1,386 @@
+"""The online index service: admission, deadlines, snapshots, degradation.
+
+Unit-level contracts of :class:`repro.service.CoconutService`
+(``docs/service.md``):
+
+* **bounded admission** — a full queue rejects with ``queue_full``; a
+  dead-on-arrival deadline rejects with ``deadline_expired``; malformed
+  requests raise ``ValueError`` before touching admission accounting;
+* **deadline shedding** — a ticket whose deadline passes while queued
+  is shed with the reason reported (driven by a manual clock, so the
+  schedule is deterministic);
+* **exactness** — served answers are bit-identical to the LSM's own
+  engines over the snapshot watermark the ticket reports;
+* **snapshot isolation** — a snapshot taken before further ingest
+  (flushes, compactions) keeps answering bit-identically afterwards;
+* **graceful degradation** — a writing ``ShardedDisk`` session (a
+  compaction mid-commit) fences the parent, yet serving proceeds:
+  the single-worker path reads straight through the snapshot's
+  pre-attached read-only shard, the multi-worker path degrades onto
+  it with ``session_conflicts`` counted;
+* **crash latch** — an ingest crash rejects further ingest with
+  ``device_crashed`` while queries keep serving the last good
+  snapshot; ``restart()`` recovers and resumes, with every
+  acknowledged row intact and no duplicates;
+* **accounting conservation** — ``submitted == served + shed +
+  rejected`` at every quiescent point; nothing is silently dropped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lsm import CoconutLSM
+from repro.service import (
+    REJECT_CRASHED,
+    REJECT_DEADLINE,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTDOWN,
+    AdmissionError,
+    CoconutService,
+    ServiceConfig,
+    ServiceUnavailable,
+    serve_snapshot_batch,
+)
+from repro.indexes.base import QueryBatch
+from repro.storage import (
+    FaultPlan,
+    FaultyDevice,
+    ShardedDisk,
+    SimulatedDisk,
+)
+from repro.storage.seriesfile import RawSeriesFile
+from repro.summaries.sax import SAXConfig
+
+LENGTH = 64
+CONFIG = SAXConfig(series_length=LENGTH, word_length=8, cardinality=16)
+MEM = 1 << 10
+PAGE = 2048
+
+_rng = np.random.default_rng(4242)
+BASE = _rng.standard_normal((150, LENGTH)).astype(np.float32)
+EXTRA = _rng.standard_normal((200, LENGTH)).astype(np.float32)
+QUERIES = _rng.standard_normal((4, LENGTH))
+
+
+class ManualClock:
+    """Deterministic injected clock for deadline schedules."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_service(config=None, device=None, clock=None, n_base=len(BASE)):
+    disk = SimulatedDisk(page_size=PAGE, store="arena")
+    raw = RawSeriesFile(disk, LENGTH)
+    raw.append_batch(BASE[:n_base])
+    kwargs = {}
+    if clock is not None:
+        kwargs["clock"] = clock
+    svc = CoconutService(
+        disk,
+        raw,
+        MEM,
+        sax_config=CONFIG,
+        config=config,
+        device=device,
+        **kwargs,
+    )
+    svc.bootstrap()
+    return disk, raw, svc
+
+
+def expected_answers(lsm, k=3):
+    """(exact ids+distances, approximate id) per query, on the LSM's engines."""
+    out = []
+    for q in QUERIES:
+        exact = lsm.exact_knn(q, k)
+        approx = lsm.approximate_search(q)
+        out.append((list(exact.answer_ids), list(exact.distances), approx.answer_idx))
+    return out
+
+
+def assert_serves_expected(svc, expected, k=3, watermark=None):
+    # In the crashed state the raw file may hold unacknowledged rows
+    # beyond the last good snapshot (recovery truncates them away), so
+    # crash tests pass the acked watermark explicitly.
+    if watermark is None:
+        watermark = svc.raw.n_series
+    for q, (ids, dists, approx_idx) in zip(QUERIES, expected):
+        ticket = svc.query(q, mode="exact", k=k)
+        assert ticket.status == "served"
+        assert list(ticket.knn_ids) == ids
+        assert ticket.knn_distances == dists
+        assert ticket.snapshot_series == watermark
+        t2 = svc.query(q, mode="approximate")
+        assert t2.status == "served"
+        assert t2.knn_ids == [approx_idx]
+
+
+def assert_conservation(svc):
+    s = svc.stats_snapshot()
+    terminal = s["served"] + sum(s["shed"].values()) + sum(s["rejected"].values())
+    assert s["submitted"] == terminal + s["queue_depth"]
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_queue_full_rejects_with_reason():
+    _, _, svc = make_service(ServiceConfig(queue_capacity=2))
+    svc.submit(QUERIES[0])
+    svc.submit(QUERIES[1])
+    with pytest.raises(AdmissionError) as err:
+        svc.submit(QUERIES[2])
+    assert err.value.reason == REJECT_QUEUE_FULL
+    # The queued tickets still serve once the pump runs.
+    assert svc.serve_pending() >= 1
+    assert_conservation(svc)
+    assert svc.stats_snapshot()["rejected"] == {REJECT_QUEUE_FULL: 1}
+
+
+def test_dead_on_arrival_deadline_rejects():
+    clock = ManualClock()
+    _, _, svc = make_service(clock=clock)
+    with pytest.raises(AdmissionError) as err:
+        svc.submit(QUERIES[0], timeout_s=0.0)
+    assert err.value.reason == REJECT_DEADLINE
+    assert_conservation(svc)
+
+
+def test_malformed_requests_raise_before_accounting():
+    _, _, svc = make_service()
+    with pytest.raises(ValueError):
+        svc.submit(QUERIES[0], mode="fuzzy")
+    with pytest.raises(ValueError):
+        svc.submit(QUERIES[0], k=0)
+    with pytest.raises(ValueError):
+        svc.submit(QUERIES[0], mode="approximate", k=2)
+    assert svc.stats_snapshot()["submitted"] == 0
+
+
+def test_deadline_expired_in_queue_is_shed():
+    clock = ManualClock()
+    _, _, svc = make_service(clock=clock)
+    doomed = svc.submit(QUERIES[0], timeout_s=5.0)
+    safe = svc.submit(QUERIES[1])  # no deadline
+    clock.advance(10.0)
+    svc.serve_pending()
+    assert doomed.status == "shed"
+    assert doomed.shed_reason == REJECT_DEADLINE
+    assert safe.status == "served"
+    assert svc.stats_snapshot()["shed"] == {REJECT_DEADLINE: 1}
+    assert_conservation(svc)
+
+
+def test_stop_without_drain_sheds_with_reason_reported():
+    _, _, svc = make_service()
+    tickets = [svc.submit(q) for q in QUERIES]
+    svc.stop(drain=False)
+    for ticket in tickets:
+        assert ticket.status == "shed"
+        assert ticket.shed_reason == REJECT_SHUTDOWN
+    with pytest.raises(AdmissionError) as err:
+        svc.submit(QUERIES[0])
+    assert err.value.reason == REJECT_SHUTDOWN
+    with pytest.raises(ServiceUnavailable):
+        svc.ingest(EXTRA[:10])
+    assert_conservation(svc)
+
+
+# ----------------------------------------------------------------------
+# Exactness and snapshot isolation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_served_answers_match_the_lsm_engines(workers):
+    _, _, svc = make_service(ServiceConfig(query_workers=workers))
+    for lo in range(0, 100, 25):
+        svc.ingest(EXTRA[lo : lo + 25])
+    assert_serves_expected(svc, expected_answers(svc._lsm))
+    assert_conservation(svc)
+
+
+def test_snapshot_survives_later_flushes_and_compactions():
+    _, raw, svc = make_service()
+    snapshot = svc.current_snapshot()
+    watermark = snapshot.n_series
+    before = expected_answers(svc._lsm)
+    # Enough ingest to flush and compact several times (MEM is tiny).
+    for lo in range(0, len(EXTRA), 25):
+        svc.ingest(EXTRA[lo : lo + 25])
+    assert svc._lsm.n_flushes > 0
+    assert raw.n_series == len(BASE) + len(EXTRA)
+    # The old snapshot still answers exactly over its own watermark.
+    assert snapshot.n_series == watermark
+    for q, (ids, dists, approx_idx) in zip(QUERIES, before):
+        batch = QueryBatch(queries=q[None, :], k=3, mode="exact")
+        got_ids, got_dists, degraded = serve_snapshot_batch(snapshot, batch)
+        assert not degraded
+        assert list(got_ids[0]) == ids
+        assert got_dists[0] == dists
+    # And the service's current snapshot moved to the new watermark.
+    assert svc.current_snapshot().n_series == raw.n_series
+
+
+def test_ticket_reports_the_watermark_it_is_exact_over():
+    _, raw, svc = make_service()
+    ticket = svc.submit(QUERIES[0], k=2)
+    svc.ingest(EXTRA[:25])  # arrives before the pump runs
+    svc.serve_pending()
+    # Served against the freshest snapshot at serve time — and says so.
+    assert ticket.snapshot_series == raw.n_series
+    oracle = svc._lsm.exact_knn(QUERIES[0], 2)
+    assert list(ticket.knn_ids) == list(oracle.answer_ids)
+
+
+# ----------------------------------------------------------------------
+# Degradation under the parent-disk fence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_serving_proceeds_while_a_writing_session_fences_the_parent(workers):
+    disk, _, svc = make_service(ServiceConfig(query_workers=workers))
+    expected = expected_answers(svc._lsm)
+    session = ShardedDisk(disk, [(disk.allocate(4), 4)])
+    try:
+        assert disk.sharded  # the commit-window fence is up
+        assert_serves_expected(svc, expected)
+    finally:
+        session.abort()
+    stats = svc.stats_snapshot()
+    if workers > 1:
+        # The engine's own sessions could not attach: every batch
+        # degraded onto the snapshot shard, and the conflict was counted.
+        assert stats["session_conflicts"] == stats["batches"]
+        assert stats["degraded_batches"] > 0
+    else:
+        # The single-worker path never even noticed the fence.
+        assert stats["session_conflicts"] == 0
+        assert stats["degraded_batches"] == 0
+    assert_conservation(svc)
+
+
+# ----------------------------------------------------------------------
+# Ingest faults: in-place recovery, crash latch, restart
+# ----------------------------------------------------------------------
+def test_transient_ingest_fault_recovers_in_place_and_acks_once():
+    disk = SimulatedDisk(page_size=PAGE, store="arena")
+    raw = RawSeriesFile(disk, LENGTH)
+    raw.append_batch(BASE)
+    dev = FaultyDevice(disk, None)
+    svc = CoconutService(disk, raw, MEM, sax_config=CONFIG, device=dev)
+    svc.bootstrap()
+    # Arm after bootstrap: the very next journal write faults once.
+    dev.plan = FaultPlan(seed=1, p_transient_write=1.0, max_faults=1)
+    receipt = svc.ingest(EXTRA[:25])
+    assert receipt.recovered
+    assert receipt.n_attempts == 2
+    assert receipt.n_rows == 25
+    assert raw.n_series == len(BASE) + 25  # exactly once — no duplicates
+    assert svc.state == "ready"
+    assert svc.stats_snapshot()["ingest_retries"] == 1
+    # The service keeps working normally afterwards.
+    svc.ingest(EXTRA[25:50])
+    assert raw.n_series == len(BASE) + 50
+    assert_serves_expected(svc, expected_answers(svc._lsm))
+
+
+def test_crash_latch_keeps_serving_then_restart_recovers():
+    disk = SimulatedDisk(page_size=PAGE, store="arena")
+    raw = RawSeriesFile(disk, LENGTH)
+    raw.append_batch(BASE)
+    dev = FaultyDevice(disk, None)
+    svc = CoconutService(disk, raw, MEM, sax_config=CONFIG, device=dev)
+    svc.bootstrap()
+    svc.ingest(EXTRA[:25])
+    expected = expected_answers(svc._lsm)
+    acked = raw.n_series
+    dev.halt()  # pull the plug
+    with pytest.raises(ServiceUnavailable) as err:
+        svc.ingest(EXTRA[25:50])
+    assert err.value.reason == REJECT_CRASHED
+    assert svc.state == "crashed"
+    # Queries keep serving the last good snapshot through the crash —
+    # the read path owns its device handle.  The faulted batch's rows
+    # sit unacknowledged past the snapshot watermark until recovery
+    # truncates them.
+    assert_serves_expected(svc, expected, watermark=acked)
+    with pytest.raises(ServiceUnavailable):
+        svc.ingest(EXTRA[25:50])
+    svc.restart()
+    assert svc.state == "ready"
+    assert raw.n_series == acked  # every acknowledged row survived
+    svc.ingest(EXTRA[25:50])
+    assert raw.n_series == acked + 25
+    assert_serves_expected(svc, expected_answers(svc._lsm))
+    stats = svc.stats_snapshot()
+    assert stats["crashes"] == 1
+    assert stats["restarts"] == 1
+    assert stats["ingest_rejected"] == 2
+    assert_conservation(svc)
+
+
+def test_recovered_index_matches_acknowledged_oracle():
+    disk = SimulatedDisk(page_size=PAGE, store="arena")
+    raw = RawSeriesFile(disk, LENGTH)
+    raw.append_batch(BASE)
+    dev = FaultyDevice(disk, None)
+    svc = CoconutService(disk, raw, MEM, sax_config=CONFIG, device=dev)
+    svc.bootstrap()
+    for lo in range(0, 75, 25):
+        svc.ingest(EXTRA[lo : lo + 25])
+    dev.halt()
+    with pytest.raises(ServiceUnavailable):
+        svc.ingest(EXTRA[75:100])
+    svc.restart()
+    # Fault-free oracle over exactly the acknowledged rows.
+    odisk = SimulatedDisk(page_size=PAGE, store="arena")
+    oraw = RawSeriesFile(odisk, LENGTH)
+    oraw.append_batch(BASE)
+    oraw.append_batch(EXTRA[:75])
+    oracle = CoconutLSM(odisk, MEM, CONFIG)
+    oracle.build(oraw)
+    for q in QUERIES:
+        ticket = svc.query(q, mode="exact", k=3)
+        exact = oracle.exact_knn(q, 3)
+        assert list(ticket.knn_ids) == list(exact.answer_ids)
+        assert ticket.knn_distances == list(exact.distances)
+
+
+def test_client_stream_offset_makes_retries_exactly_once():
+    _, raw, svc = make_service()
+    base = raw.n_series
+    receipt = svc.ingest(EXTRA[:25], expected_first=base)
+    assert not receipt.deduplicated
+    assert raw.n_series == base + 25
+    # A client that never heard the ack (crash ate it) re-sends the
+    # same batch at the same stream offset: deduplicated, not appended.
+    again = svc.ingest(EXTRA[:25], expected_first=base)
+    assert again.deduplicated
+    assert again.first_index == base
+    assert raw.n_series == base + 25
+    # An offset past the watermark is a client-side gap: loud failure.
+    with pytest.raises(ValueError):
+        svc.ingest(EXTRA[25:50], expected_first=base + 100)
+
+
+# ----------------------------------------------------------------------
+# Health surface
+# ----------------------------------------------------------------------
+def test_stats_snapshot_shape_and_latency_percentiles():
+    _, _, svc = make_service()
+    for q in QUERIES:
+        svc.query(q, k=2)
+    stats = svc.stats_snapshot()
+    assert stats["served"] == len(QUERIES)
+    assert stats["batches"] >= 1
+    lat = stats["query_latency_s"]
+    assert lat["samples"] == len(QUERIES)
+    assert 0.0 <= lat["p50"] <= lat["p95"] <= lat["p99"]
+    assert stats["lsm"]["state_version"] == svc._lsm.state_version
+    assert stats["heal"]["attempts"] >= stats["heal"]["calls"] > 0
+    assert_conservation(svc)

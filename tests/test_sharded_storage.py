@@ -435,3 +435,69 @@ def test_lsm_sharded_compaction_equals_serial_for_any_workers(workers):
         assert run_s.level == run_p.level
         np.testing.assert_array_equal(run_s.keys, run_p.keys)
         np.testing.assert_array_equal(run_s.offsets, run_p.offsets)
+
+
+# ------------------------------------------------- read-only sessions
+def test_read_only_session_reads_through_a_writing_fence():
+    """The online service's serving contract, at the storage layer.
+
+    A read-only session attached *before* a writing session keeps
+    reading its pre-session pages while the writing session fences the
+    parent — that window is exactly a flush/compaction commit, and it
+    is why a serving snapshot pins its shard up front instead of
+    opening sessions per batch.
+    """
+    disk = make_disk(8)
+    reader = ShardedDisk(disk, [(0, 0)], names=["reader"], read_only=True)
+    (shard,) = reader.shards
+    before = [bytes(shard.read_page(p)) for p in range(8)]
+    extent = disk.allocate(2)  # read-only leaves the parent live
+    writer = ShardedDisk(disk, [(extent, 2)])
+    try:
+        assert disk.sharded  # the commit fence is up...
+        with pytest.raises(PageError):
+            disk.read_page(0)
+        with pytest.raises(PageError):
+            ShardedDisk(disk, [(0, 0)], read_only=True)  # no new sessions
+        # ...yet the pre-attached reader still reads, bit-identically.
+        assert [bytes(shard.read_page(p)) for p in range(8)] == before
+    finally:
+        writer.detach()
+    # And again after the commit: pre-session pages are immutable.
+    assert [bytes(shard.read_page(p)) for p in range(8)] == before
+
+
+def test_read_only_session_watermark_pins_at_attach():
+    disk = make_disk(4)
+    reader = ShardedDisk(disk, [(0, 0)], read_only=True)
+    (shard,) = reader.shards
+    late = disk.allocate(1)
+    disk.write_page(late, b"after")
+    # Pages allocated after the session attached are beyond its
+    # snapshot watermark — a stale reader cannot see in-flight state.
+    with pytest.raises(PageError):
+        shard.read_page(late)
+    assert shard.read_page(0)[:1] == bytes([0])
+
+
+def test_read_only_session_survives_lsm_flush_and_compaction():
+    """Rows below a pinned watermark stay identical across commits.
+
+    The raw file's *tail page* is legitimately rewritten as later
+    appends fill it, so the invariant is at the row level: a raw view
+    bound to a pre-attached read-only shard pins ``n_series`` and those
+    rows read back bit-identically through any number of flushes and
+    sharded compactions — the service snapshot's serving contract.
+    """
+    disk, lsm = build_lsm(workers=3, pool_kind="thread")
+    reader = ShardedDisk(disk, [(0, 0)], names=["snapshot"], read_only=True)
+    (shard,) = reader.shards
+    raw_view = lsm.raw.view(shard)
+    rows = np.arange(lsm.raw.n_series, dtype=np.int64)
+    before = raw_view.get_many(rows).copy()
+    merges = lsm.n_merges
+    for i in range(8):
+        lsm.insert_batch(random_walk(90, length=32, seed=900 + i))
+    assert lsm.n_merges > merges  # sharded compactions really committed
+    np.testing.assert_array_equal(raw_view.get_many(rows), before)
+    assert len(raw_view) == len(rows)  # later appends stay invisible
