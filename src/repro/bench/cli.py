@@ -19,6 +19,7 @@ Examples::
     python -m repro.bench arena --n 50000 --records 200000 --workers 1 2
     python -m repro.bench fetch --n 50000
     python -m repro.bench faults --n 50000 --repeats 5
+    python -m repro.bench scrub --n 50000 --scrub-seeds 4
     python -m repro.bench space --n 15000
     python -m repro.bench updates --batches 100 1000
 
@@ -57,6 +58,7 @@ from .harness import (
     run_parallel_build_sweep,
     run_query_experiment,
     run_sched_sweep,
+    run_scrub_sweep,
     run_serve_sweep,
     run_spilled_merge_sweep,
     run_update_workload,
@@ -398,6 +400,47 @@ def _run_faults(args: argparse.Namespace, spec: None) -> None:
     )
 
 
+# ------------------------------------------------------------------ scrub
+def _configure_scrub(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n", type=int, nargs="+", default=[50_000],
+        help="series counts for the verified-read overhead cells",
+    )
+    parser.add_argument("--length", type=int, default=128)
+    parser.add_argument(
+        "--fetch-fraction", type=float, default=0.3,
+        help="fraction of records the gather visits",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per cell (best-of)",
+    )
+    parser.add_argument(
+        "--scrub-seeds", type=int, default=4,
+        help="seeded decay + sweep schedules per page store",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _run_scrub(args: argparse.Namespace, spec: None) -> None:
+    rows = run_scrub_sweep(
+        args.n,
+        length=args.length,
+        fetch_fraction=args.fetch_fraction,
+        seed=args.seed,
+        repeats=args.repeats,
+        scrub_seeds=args.scrub_seeds,
+    )
+    print_experiment(
+        "integrity: verified-read overhead + scrub/repair smoke",
+        rows,
+        columns=[
+            "workload", "store", "n_series", "cores",
+            "plain_s", "verified_s", "overhead", "identical", "io_identical",
+        ],
+    )
+
+
 # ------------------------------------------------------------------ space
 def _run_space(args: argparse.Namespace, spec: DatasetSpec) -> None:
     rows = run_build_sweep(MATERIALIZED_GROUP + SECONDARY_GROUP, spec, [0.25])
@@ -476,6 +519,9 @@ COMMANDS: tuple[_Command, ...] = (
     _Command("faults",
              "fault-layer overhead (hooks disabled) + crash-recovery smoke",
              _configure_faults, _run_faults, needs_dataset=False),
+    _Command("scrub",
+             "integrity: verified-read overhead + seeded scrub/repair smoke",
+             _configure_scrub, _run_scrub, needs_dataset=False),
     _Command("space", "index size and fill factors",
              lambda parser: None, _run_space),
     _Command("updates", "mixed insert/query workload",

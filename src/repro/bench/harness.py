@@ -1613,6 +1613,222 @@ def run_fault_overhead_sweep(
     return rows
 
 
+def _drive_verified_fetch_pass(
+    store: str,
+    n_series: int,
+    length: int,
+    fetch_fraction: float,
+    seed: int,
+    verified: bool,
+    page_size: int = PAGE_SIZE,
+) -> dict:
+    """One timed headline gather, unverified or with verified reads.
+
+    Both passes run on an integrity-enabled disk (the sidecar is
+    recorded either way); ``verified=True`` additionally hashes every
+    page view against the sidecar on the way up — the cost the
+    ``verified_reads`` deployment mode pays on the exact
+    skip-sequential fetch path the query engines use.
+    """
+    import time
+
+    disk = SimulatedDisk(page_size=page_size, store=store, integrity=True)
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n_series, length)).astype(np.float32)
+    raw = RawSeriesFile.create(disk, data)
+    raw.verified_reads = verified
+    n_fetch = max(1, int(n_series * fetch_fraction))
+    idxs = np.sort(rng.choice(n_series, size=n_fetch, replace=False))
+    disk.reset_stats()
+    disk.park_head()
+    t0 = time.perf_counter()
+    fetched = raw.get_many(idxs)
+    wall = time.perf_counter() - t0
+    return {
+        "fetched": fetched,
+        "wall_s": wall,
+        "stats": disk.stats,
+        "head": disk.head_position,
+    }
+
+
+def _drive_scrub_cell(store: str, seed: int) -> dict:
+    """One seeded decay + sweep cycle; asserts detected == injected.
+
+    Builds a small durable index on an integrity disk, injects seeded
+    at-rest bit decay on pages the sweep covers (single-bit on raw —
+    the algebraically repairable case — alternating single/multi-bit
+    on run pages to force quarantine + rebuild), then sweeps and
+    *asserts* the oracle contract: the sweep finds exactly the
+    injected pages, repairs them all, and post-repair answers equal
+    the pre-decay answers.
+    """
+    import time
+
+    from ..core.lsm import CoconutLSM
+    from ..storage.integrity import Scrubber, decay_bit
+
+    length = 64
+    config = SAXConfig(series_length=length, word_length=8, cardinality=16)
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((150, length)).astype(np.float32)
+    extra = rng.standard_normal((150, length)).astype(np.float32)
+    queries = rng.standard_normal((3, length))
+
+    disk = SimulatedDisk(page_size=2048, store=store, integrity=True)
+    raw = RawSeriesFile(disk, length)
+    raw.append_batch(base)
+    ix = CoconutLSM(disk, 1 << 10, config, durability="wal")
+    ix.build(raw)
+    for lo in range(0, len(extra), 25):
+        ix.insert_batch(extra[lo : lo + 25])
+    expect = [
+        (r.answer_idx, r.distance) for r in (ix.exact_search(q) for q in queries)
+    ]
+    scrubber = Scrubber(disk, lsm=ix, raw=raw)
+    targets = [
+        (kind, first + i)
+        for kind, _, first, n_pages in scrubber._targets()
+        for i in range(n_pages)
+    ]
+    picks = rng.choice(len(targets), size=min(10, len(targets)), replace=False)
+    injected = set()
+    for pick in picks:
+        kind, page = targets[int(pick)]
+        n_bits = 3 if kind == "run" and int(pick) % 2 else 1
+        for bit in rng.choice(2048 * 8, size=n_bits, replace=False):
+            decay_bit(disk, page, int(bit))
+        injected.add(page)
+    t0 = time.perf_counter()
+    report = scrubber.sweep()
+    wall = time.perf_counter() - t0
+    detected = set(report.corrupt_pages)
+    if detected != injected:
+        raise AssertionError(
+            f"scrub detection violation on the {store} store at seed "
+            f"{seed}: injected {sorted(injected)}, detected "
+            f"{sorted(detected)}"
+        )
+    if scrubber.unrepairable:
+        raise AssertionError(
+            f"scrub left {sorted(scrubber.unrepairable)} unrepaired on "
+            f"the {store} store at seed {seed}"
+        )
+    after = [
+        (r.answer_idx, r.distance) for r in (ix.exact_search(q) for q in queries)
+    ]
+    if after != expect:
+        raise AssertionError(
+            f"post-repair answers moved on the {store} store at seed {seed}"
+        )
+    return {
+        "pages_scanned": report.pages_scanned,
+        "injected": len(injected),
+        "detected": len(detected),
+        "repaired": len(report.repaired_pages),
+        "rebuilt_runs": report.rebuilt_runs,
+        "wall_s": wall,
+        "identical": after == expect,
+    }
+
+
+def run_scrub_sweep(
+    n_series_list: list[int],
+    length: int = 128,
+    fetch_fraction: float = 0.3,
+    seed: int = 7,
+    repeats: int = 5,
+    scrub_seeds: int = 4,
+) -> list[dict]:
+    """Price verified reads; smoke-test seeded scrub + repair.
+
+    ``overhead`` cells run the headline skip-sequential gather twice
+    per page store — unverified vs ``verified_reads=True``, both on an
+    integrity-recorded disk — and assert fetched records, classified
+    :class:`DiskStats` and head positions bit-identical before
+    reporting the wall-clock ratio (best of ``repeats``; the <=10%
+    gate is armed by ``benchmarks/bench_scrub.py`` at the headline
+    scale only).  ``scrub`` cells run seeded decay + sweep cycles on
+    both stores; each asserts detected == injected, full repair and
+    unmoved answers, and reports the sweep's page scan rate.
+    """
+    import os
+
+    rows = []
+    cores = os.cpu_count() or 1
+    for n_series in n_series_list:
+        for store in ("dict", "arena"):
+            plain = min(
+                (
+                    _drive_verified_fetch_pass(
+                        store, n_series, length, fetch_fraction, seed, False
+                    )
+                    for _ in range(repeats)
+                ),
+                key=lambda run: run["wall_s"],
+            )
+            verified = min(
+                (
+                    _drive_verified_fetch_pass(
+                        store, n_series, length, fetch_fraction, seed, True
+                    )
+                    for _ in range(repeats)
+                ),
+                key=lambda run: run["wall_s"],
+            )
+            identical = bool(
+                np.array_equal(plain["fetched"], verified["fetched"])
+            )
+            io_identical = (
+                plain["stats"] == verified["stats"]
+                and plain["head"] == verified["head"]
+            )
+            if not identical or not io_identical:
+                raise AssertionError(
+                    f"verified reads changed the fetch at {n_series} "
+                    f"series on the {store} store: identical={identical}, "
+                    f"io_identical={io_identical}"
+                )
+            rows.append(
+                {
+                    "workload": "overhead",
+                    "store": store,
+                    "n_series": n_series,
+                    "cores": cores,
+                    "plain_s": plain["wall_s"],
+                    "verified_s": verified["wall_s"],
+                    "overhead": (
+                        verified["wall_s"] / plain["wall_s"]
+                        if plain["wall_s"]
+                        else 1.0
+                    ),
+                    "identical": identical,
+                    "io_identical": io_identical,
+                }
+            )
+    for store in ("dict", "arena"):
+        for scrub_seed in range(scrub_seeds):
+            cell = _drive_scrub_cell(store, seed + scrub_seed)
+            rows.append(
+                {
+                    "workload": "scrub",
+                    "store": store,
+                    "n_series": cell["pages_scanned"],
+                    "cores": cores,
+                    "plain_s": 0.0,
+                    "verified_s": cell["wall_s"],
+                    "overhead": 1.0,
+                    "identical": cell["identical"],
+                    "io_identical": True,
+                    "injected": cell["injected"],
+                    "detected": cell["detected"],
+                    "repaired": cell["repaired"],
+                    "rebuilt_runs": cell["rebuilt_runs"],
+                }
+            )
+    return rows
+
+
 # ----------------------------------------------------------------------
 # Online service: mixed read/write throughput with tail latency
 # ----------------------------------------------------------------------

@@ -298,6 +298,31 @@ class CoconutLSM(SeriesIndex):
         rows["off"] = offsets
         return rows.tobytes()
 
+    def run_meta_of(self, run: _Run) -> "RunMeta | None":
+        """Manifest-shaped description of a live durable run.
+
+        This is the scrub seam: :class:`~repro.storage.integrity.
+        Scrubber` hands the result straight to :meth:`_rebuild_run` to
+        regenerate a decayed run extent from the raw file, exactly as
+        crash recovery would.  The CRC is recomputed from the in-memory
+        key/offset mirrors — the same arrays every query answer already
+        trusts — so a rebuild is accepted only if it reproduces what
+        queries have been serving.  Returns ``None`` for volatile runs,
+        which cover no raw range and cannot be rebuilt from it.
+        """
+        if run.off_hi <= run.off_lo:
+            return None
+        return RunMeta(
+            level=run.level,
+            first_page=run.file.physical_page(0),
+            n_pages=run.file.n_pages,
+            n_records=run.n_records,
+            crc=zlib.crc32(self._pack_records(run.keys, run.offsets)),
+            off_lo=run.off_lo,
+            off_hi=run.off_hi,
+            covers_lsn=run.wal_lsn,
+        )
+
     def _commit_run(self, run: _Run, payload: bytes, manifest) -> None:
         """Footer + manifest frame for a fully-written durable run.
 

@@ -170,9 +170,23 @@ class WriteAheadLog:
         # cannot replay it.
         back = bytes(self.file.read_stream(at, n_pages))[: len(frame)]
         if back != frame:
-            raise CorruptionError(
-                f"WAL frame lsn={lsn} failed read-back verification"
+            # Locate the first divergent byte so the error carries page
+            # provenance (which physical page the flip landed on), the
+            # same contract as a verified-read CorruptionError.
+            bad_byte = next(
+                i for i, (a, b) in enumerate(zip(frame, back)) if a != b
             )
+            physical = self.file.physical_page(
+                at + bad_byte // self.device.page_size
+            )
+            error = CorruptionError(
+                f"WAL frame lsn={lsn} failed read-back verification "
+                f"(first divergence at frame byte {bad_byte}, physical "
+                f"page {physical})"
+            )
+            error.page_id = physical
+            error.source = f"WriteAheadLog({self.file.name!r})"
+            raise error
         self.next_lsn = lsn + 1
         return lsn
 

@@ -48,7 +48,7 @@ import logging
 import time
 from dataclasses import dataclass
 
-from ..storage.faults import FaultError, TransientIOError
+from ..storage.faults import CorruptionError, FaultError, TransientIOError
 
 __all__ = [
     "HEAL_RETRIES",
@@ -109,6 +109,11 @@ class HealReport:
     n_retries: int = 0
     n_transient_faults: int = 0
     n_fatal_faults: int = 0
+    #: Of the fatal faults, how many were integrity failures
+    #: (:class:`~repro.storage.faults.CorruptionError`) — a verified
+    #: read refusing to serve flipped bytes, distinct from a device
+    #: that merely died.  Subset of ``n_fatal_faults``.
+    n_corruption_faults: int = 0
     n_degraded: int = 0
 
     def merge(self, other: "HealReport") -> None:
@@ -117,6 +122,7 @@ class HealReport:
         self.n_retries += other.n_retries
         self.n_transient_faults += other.n_transient_faults
         self.n_fatal_faults += other.n_fatal_faults
+        self.n_corruption_faults += other.n_corruption_faults
         self.n_degraded += other.n_degraded
 
     def as_dict(self) -> dict:
@@ -126,6 +132,7 @@ class HealReport:
             "retries": self.n_retries,
             "transient_faults": self.n_transient_faults,
             "fatal_faults": self.n_fatal_faults,
+            "corruption_faults": self.n_corruption_faults,
             "degraded": self.n_degraded,
         }
 
@@ -191,6 +198,8 @@ def run_self_healing(
             last = error
             if report is not None:
                 report.n_fatal_faults += 1
+                if isinstance(error, CorruptionError):
+                    report.n_corruption_faults += 1
             logger.warning("%s: non-retryable device fault: %s", label, error)
             break
     if fallback is None:

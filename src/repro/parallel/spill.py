@@ -113,6 +113,12 @@ class _ExtentWriter:
         self.pos = byte_lo
         self.buf = bytearray()
         self.fragments: list[tuple[int, int, bytes]] = []
+        # Integrity sidecar of the shard session (None when disabled):
+        # interior pages record the *intended* payload here at write
+        # time — above any FaultyDevice wrap, so an in-flight flip can
+        # never bless itself — and reconcile into the parent map at
+        # detach along with the pages.
+        self.checksums = getattr(device, "checksums", None)
 
     def push(self, data: bytes) -> None:
         if self.buf:
@@ -132,6 +138,10 @@ class _ExtentWriter:
                 self.device.write_page(
                     self.base_page + page, view[at : at + page_size]
                 )
+                if self.checksums is not None:
+                    self.checksums.record_page(
+                        self.base_page + page, view[at : at + page_size]
+                    )
                 at += page_size
                 self.pos += page_size
             else:
@@ -218,6 +228,7 @@ def _write_boundary_pages(
     by_page: dict[int, list[tuple[int, bytes]]] = {}
     for page, offset, data in fragments:
         by_page.setdefault(page, []).append((offset, data))
+    checksums = getattr(disk, "checksums", None)
     for page in sorted(by_page):
         pieces = sorted(by_page[page])
         at = 0
@@ -230,7 +241,10 @@ def _write_boundary_pages(
                 )
             parts.append(data)
             at += len(data)
-        disk.write_page(out_first + page, b"".join(parts))
+        assembled = b"".join(parts)
+        disk.write_page(out_first + page, assembled)
+        if checksums is not None:
+            checksums.record_page(out_first + page, assembled)
 
 
 def sharded_spill_merge(

@@ -57,7 +57,13 @@ from ..indexes.base import BuildReport, QueryBatch
 from ..parallel.heal import RetryPolicy
 from ..parallel.sched import run_sims_query_batch
 from ..storage.disk import PageError, SimulatedDisk
-from ..storage.faults import DeviceCrash, FaultError, TransientIOError
+from ..storage.faults import (
+    CorruptionError,
+    DeviceCrash,
+    FaultError,
+    TransientIOError,
+)
+from ..storage.integrity import Scrubber, ScrubReport
 from ..storage.seriesfile import RawSeriesFile
 from .admission import (
     REJECT_CRASHED,
@@ -112,6 +118,18 @@ class ServiceConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     serve_pool_pages: int = SERVE_POOL_PAGES
     latency_capacity: int = 4096
+    #: Hash every serve-path page against the disk's checksum sidecar
+    #: (:mod:`repro.storage.integrity`); a corrupt page raises — and
+    #: heals via scrub + serial retry — instead of being served.
+    verified_reads: bool = False
+    #: Background scrub cadence: one bounded :meth:`Scrubber.step`
+    #: under the ingest lock after every N acknowledged ingest batches
+    #: (0 disables background scrubbing; ``scrub_now()`` still works
+    #: whenever integrity is armed).
+    scrub_every_batches: int = 0
+    #: Page budget per background scrub step — the longest serving can
+    #: wait on the ingest lock for the sake of a sweep.
+    scrub_pages_per_step: int = 256
 
 
 @dataclass
@@ -158,6 +176,18 @@ class CoconutService:
         self.config = config or ServiceConfig()
         self.clock = clock
         self.wrap_serve_device = wrap_serve_device
+        # Integrity must be armed before the LSM exists: the sidecar
+        # blesses everything already on disk (the pre-loaded raw rows),
+        # and every write from here on records through the consumers —
+        # a map created any later would hold zero-page expectations for
+        # pages the WAL or a flush already wrote.
+        self._scrubber: "Scrubber | None" = None
+        self._batches_since_scrub = 0
+        if self.integrity_armed:
+            if getattr(disk, "checksums", None) is None:
+                disk.enable_integrity()
+            if self.config.verified_reads:
+                raw.verified_reads = True
         self._lsm_kwargs = dict(
             workers=lsm_workers,
             pool_kind=lsm_pool_kind,
@@ -185,6 +215,23 @@ class CoconutService:
     def _wire_lsm(self) -> None:
         self._lsm._heal_policy = self.config.retry
         self._lsm._heal_report = self.stats.heal
+        if self.integrity_armed:
+            # Rebind the scrubber whenever the LSM is replaced
+            # (recovery): its run targets and rebuild seam must point
+            # at the live index.
+            self._scrubber = Scrubber(
+                self.disk,
+                lsm=self._lsm,
+                raw=self.raw,
+                pages_per_step=self.config.scrub_pages_per_step,
+            )
+
+    @property
+    def integrity_armed(self) -> bool:
+        """Whether the integrity plane (sidecar + scrubber) is active."""
+        return (
+            self.config.verified_reads or self.config.scrub_every_batches > 0
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -343,6 +390,7 @@ class CoconutService:
                     f"ingest failed after {policy.retries + 1} attempts: {last}",
                 )
             self._refresh_snapshot_locked()
+            self._maybe_scrub_locked()
         self.stats.on_ingest(len(data), self.clock() - t0)
         return IngestReceipt(
             first_index=before,
@@ -350,6 +398,51 @@ class CoconutService:
             n_attempts=attempts,
             recovered=recovered,
         )
+
+    # ------------------------------------------------------------------
+    # Scrubbing
+    # ------------------------------------------------------------------
+    def scrub_now(self) -> ScrubReport:
+        """Run one full integrity sweep now; repairs land in stats."""
+        if self._scrubber is None:
+            raise PageError(
+                "scrubbing requires integrity (set verified_reads or "
+                "scrub_every_batches on ServiceConfig)"
+            )
+        with self._ingest_lock:
+            return self._scrub_locked(full=True)
+
+    def _maybe_scrub_locked(self) -> None:
+        every = self.config.scrub_every_batches
+        if self._scrubber is None or every <= 0:
+            return
+        self._batches_since_scrub += 1
+        if self._batches_since_scrub < every:
+            return
+        self._batches_since_scrub = 0
+        self._scrub_locked(full=False)
+
+    def _scrub_locked(self, full: bool) -> ScrubReport:
+        """One bounded step (or a whole sweep) under the ingest lock.
+
+        Read-only serving sessions are never stalled: scrub reads ride
+        the diagnostics plane, and holding the ingest lock only keeps
+        flushes and compactions from moving the targets mid-scan.
+        """
+        scrubber = self._scrubber
+        report = scrubber.sweep() if full else scrubber.step()
+        self.stats.on_scrub(
+            report, self.raw.n_series, len(scrubber.unrepairable)
+        )
+        if (
+            report.repaired_pages or report.rebuilt_runs
+        ) and self._state == "ready":
+            # Serve the repaired content from the next batch on.  In
+            # the crashed state the last good snapshot stays as-is (a
+            # broken index must never be re-snapshotted); its shard
+            # reads the repaired pages in place regardless.
+            self._refresh_snapshot_locked()
+        return report
 
     def _enter_crashed_locked(self) -> None:
         self._state = "crashed"
@@ -377,10 +470,32 @@ class CoconutService:
                 last = error
                 if index < policy.retries:
                     time.sleep(policy.delay(index))
+            except CorruptionError as error:
+                if self._scrubber is None:
+                    raise
+                last = error
+                # A verified raw read refused flipped bytes mid-replay,
+                # which would otherwise fail recovery on every attempt.
+                # Replay truncates the raw file *before* reading it, so
+                # a raw-only sweep now covers exactly the acknowledged
+                # rows: heal what it can (single-bit decay) and retry.
+                pre = Scrubber(
+                    self.disk,
+                    raw=self.raw,
+                    pages_per_step=self.config.scrub_pages_per_step,
+                )
+                report = pre.sweep()
+                self.stats.on_scrub(
+                    report, self.raw.n_series, len(pre.unrepairable)
+                )
         else:
             raise last
         self._wire_lsm()
         self.stats.on_recovery()
+        if self._scrubber is not None:
+            # Recovery rewrote runs and truncated raw; re-verify the
+            # whole live surface so the sweep watermark is honest.
+            self._scrub_locked(full=True)
         self._refresh_snapshot_locked()
 
     # ------------------------------------------------------------------
@@ -530,6 +645,21 @@ class CoconutService:
                     ids, distances, degraded, conflict = self._serve_batch(
                         snapshot, batch
                     )
+                    served_watermark = snapshot.n_series
+                except CorruptionError:
+                    # A verified read refused to serve flipped bytes.
+                    # Heal — scrub + repair under the ingest lock — and
+                    # retry once on the serial engine over the repaired
+                    # snapshot; counted, never silent.
+                    healed = self._heal_corruption(batch)
+                    if healed is None:
+                        now = self.clock()
+                        for ticket in group:
+                            ticket._shed(SHED_DEVICE_FAULT, now)
+                            self.stats.on_shed(SHED_DEVICE_FAULT)
+                        continue
+                    ids, distances, served_watermark = healed
+                    degraded, conflict = True, False
                 except FaultError:
                     # Serving faulted beyond every fallback: report it
                     # on each ticket rather than dropping or crashing
@@ -542,7 +672,7 @@ class CoconutService:
                 now = self.clock()
                 for i, ticket in enumerate(group):
                     ticket._serve(
-                        ids[i], distances[i], snapshot.n_series, now, degraded
+                        ids[i], distances[i], served_watermark, now, degraded
                     )
                     self.stats.on_served(ticket.latency_s, degraded)
                 self.stats.on_batch(degraded, conflict)
@@ -580,8 +710,30 @@ class CoconutService:
             policy=self.config.retry,
             heal_report=self.stats.heal,
             pool_pages=self.config.serve_pool_pages,
+            verified_reads=self.config.verified_reads,
         )
         return ids, distances, degraded, False
+
+    def _heal_corruption(self, batch: QueryBatch):
+        """Serve-path corruption heal: scrub, repair, one serial retry.
+
+        Returns ``(ids, distances, watermark)`` answered over the
+        repaired snapshot, or ``None`` when the damage is unrepairable
+        (raw multi-bit decay) — the retry's verified reads refuse
+        again, the tickets are shed with the reason reported, and the
+        pages stay quarantined.
+        """
+        if self._scrubber is None:
+            return None
+        with self._ingest_lock:
+            self._scrub_locked(full=True)
+        self.stats.on_corruption_heal()
+        try:
+            snapshot = self.current_snapshot()
+            ids, distances = _serial_answers(snapshot, batch)
+        except (ServiceUnavailable, FaultError):
+            return None
+        return ids, distances, snapshot.n_series
 
     def _shed_queued(self, reason: str) -> None:
         now = self.clock()

@@ -173,6 +173,7 @@ def serve_snapshot_batch(
     policy: "RetryPolicy | None" = None,
     heal_report=None,
     pool_pages: int = SERVE_POOL_PAGES,
+    verified_reads: bool = False,
 ):
     """Serve one coalesced batch against a snapshot, self-healing.
 
@@ -182,6 +183,13 @@ def serve_snapshot_batch(
     faults retry on a fresh wrapper; any other fault degrades to the
     same serial pass on the unwrapped shard.  Read-only shards have
     nothing to roll back, so a faulted attempt leaves no trace.
+
+    ``verified_reads`` arms the attempt pools' checksum verification
+    (:mod:`repro.storage.integrity`): a run page flipped at rest raises
+    :class:`~repro.storage.faults.CorruptionError` out of the whole
+    call — past the serial fallback, which reads the same pages — so
+    the service can scrub-repair and retry rather than serve from a
+    corrupt page.
 
     Returns ``(ids, distances, degraded)``.
     """
@@ -193,7 +201,7 @@ def serve_snapshot_batch(
             if wrap_device is None
             else wrap_device(snapshot.shard, 0, attempt_index)
         )
-        with BufferPool(device, pool_pages) as pool:
+        with BufferPool(device, pool_pages, verified_reads=verified_reads) as pool:
             return _answer_on(view, batch, pool)
 
     outcome = run_self_healing(

@@ -85,6 +85,19 @@ class ServiceStats:
         self.n_recoveries = 0
         self.n_restarts = 0
         self.n_crashes = 0
+        # Integrity life cycle: scrub activity and serve-path heals.
+        self.n_scrub_steps = 0
+        self.n_scrub_sweeps = 0
+        self.n_pages_scrubbed = 0
+        self.n_corrupt_pages = 0
+        self.n_pages_repaired = 0
+        self.n_runs_quarantined = 0
+        self.n_runs_rebuilt = 0
+        self.n_unrepairable_pages = 0  # gauge: currently quarantined
+        self.n_corruption_heals = 0
+        # Raw-row watermark the last *completed* sweep verified (-1
+        # before any sweep finishes).
+        self.last_sweep_watermark = -1
         # Healing activity across every seam the service drives.
         self.heal = HealReport()
         self.query_latency = LatencyWindow(latency_capacity)
@@ -145,6 +158,32 @@ class ServiceStats:
         with self._lock:
             self.n_crashes += 1
 
+    # -- integrity events ------------------------------------------------
+    def on_scrub(self, report, watermark: int, unrepairable: int) -> None:
+        """Fold one scrub step (or whole sweep) into the surface.
+
+        ``watermark`` is the raw-row count the scrub ran against; it
+        becomes the last-sweep watermark only when ``report.complete``
+        — a partial step proves nothing about pages it never reached.
+        ``unrepairable`` is the scrubber's current quarantine size (a
+        gauge, not a delta: a page repaired later leaves it again).
+        """
+        with self._lock:
+            self.n_scrub_steps += 1
+            self.n_pages_scrubbed += report.pages_scanned
+            self.n_corrupt_pages += len(report.corrupt_pages)
+            self.n_pages_repaired += len(report.repaired_pages)
+            self.n_runs_quarantined += len(report.quarantined_runs)
+            self.n_runs_rebuilt += report.rebuilt_runs
+            self.n_unrepairable_pages = unrepairable
+            if report.complete:
+                self.n_scrub_sweeps += 1
+                self.last_sweep_watermark = watermark
+
+    def on_corruption_heal(self) -> None:
+        with self._lock:
+            self.n_corruption_heals += 1
+
     # -- export ----------------------------------------------------------
     def snapshot(self, queue_depth: int = 0, lsm=None) -> dict:
         """One consistent dict of the whole surface (JSON-serializable)."""
@@ -167,6 +206,18 @@ class ServiceStats:
                 "restarts": self.n_restarts,
                 "crashes": self.n_crashes,
                 "heal": self.heal.as_dict(),
+                "scrub": {
+                    "steps": self.n_scrub_steps,
+                    "sweeps": self.n_scrub_sweeps,
+                    "pages_scanned": self.n_pages_scrubbed,
+                    "corrupt_pages": self.n_corrupt_pages,
+                    "pages_repaired": self.n_pages_repaired,
+                    "runs_quarantined": self.n_runs_quarantined,
+                    "runs_rebuilt": self.n_runs_rebuilt,
+                    "unrepairable_pages": self.n_unrepairable_pages,
+                    "corruption_heals": self.n_corruption_heals,
+                    "last_sweep_watermark": self.last_sweep_watermark,
+                },
                 "query_latency_s": {
                     "p50": self.query_latency.percentile(50),
                     "p95": self.query_latency.percentile(95),

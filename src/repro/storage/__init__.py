@@ -30,6 +30,15 @@ from .faults import (
     TornWrite,
     TransientIOError,
 )
+from .integrity import (
+    ChecksumMap,
+    Scrubber,
+    ScrubReport,
+    checksum_page,
+    decay_bit,
+    single_bit_syndromes,
+    verify_view,
+)
 from .merge import (
     MERGE_ENGINES,
     LoserTree,
@@ -45,6 +54,7 @@ from .seriesfile import RawSeriesFile
 
 __all__ = [
     "BufferPool",
+    "ChecksumMap",
     "CorruptionError",
     "CostModel",
     "DeviceCrash",
@@ -68,12 +78,16 @@ __all__ = [
     "RawSeriesFile",
     "RunCursor",
     "RunFence",
+    "Scrubber",
+    "ScrubReport",
     "SimulatedDisk",
     "SortReport",
     "SSD_COST",
     "UNIFORM_COST",
     "blockwise_merge_stream",
     "build_run_fence",
+    "checksum_page",
+    "decay_bit",
     "fenced_cut_positions",
     "heapq_merge_stream",
     "merge_pair",
@@ -81,6 +95,8 @@ __all__ = [
     "merge_stream",
     "page_record_starts",
     "read_run_fence",
+    "single_bit_syndromes",
     "sort_to_arrays",
+    "verify_view",
     "write_run_fence",
 ]

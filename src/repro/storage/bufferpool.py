@@ -35,6 +35,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from .disk import PageError, SimulatedDisk
+from .integrity import verify_view
 
 
 class BufferPool:
@@ -48,13 +49,28 @@ class BufferPool:
     capacity_pages:
         Maximum number of cached pages.  Zero disables caching, which
         makes every access hit the disk (useful for worst-case runs).
+    verified_reads:
+        Hash every page fetched from the device against the device's
+        :class:`repro.storage.integrity.ChecksumMap` before admitting
+        it, raising :class:`repro.storage.faults.CorruptionError` with
+        page provenance instead of caching (and serving) flipped
+        bytes.  Verification hashes the device's existing view — the
+        zero-copy read path is preserved.  Cache hits are not
+        re-hashed: admitted views were verified, and the lifecycle
+        forbids out-of-band writes underneath a pool.
     """
 
-    def __init__(self, disk: SimulatedDisk | None, capacity_pages: int):
+    def __init__(
+        self,
+        disk: SimulatedDisk | None,
+        capacity_pages: int,
+        verified_reads: bool = False,
+    ):
         if capacity_pages < 0:
             raise ValueError(f"capacity_pages must be >= 0, got {capacity_pages}")
         self.disk = disk
         self.capacity_pages = capacity_pages
+        self.verified_reads = verified_reads
         # Full zero-padded pages; on arena devices these are zero-copy
         # views of the device arena (admission and eviction move
         # references, never payload bytes).
@@ -111,6 +127,18 @@ class BufferPool:
     def allocate(self, n_pages: int = 1) -> int:
         return self._require_attached().allocate(n_pages)
 
+    @property
+    def checksums(self):
+        """The device's integrity sidecar (``None`` when disabled), so
+        consumers writing through a pool record exactly as they would
+        against the device directly."""
+        return getattr(self._require_attached(), "checksums", None)
+
+    def _verify(self, page_id: int, data):
+        return verify_view(
+            self.checksums, page_id, data, f"BufferPool({self.disk!r})"
+        )
+
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
@@ -136,6 +164,8 @@ class BufferPool:
             return self._cache[page_id]
         self.misses += 1
         data = device.read_page(page_id)
+        if self.verified_reads:
+            self._verify(page_id, data)
         self._admit(page_id, data)
         return data
 
@@ -151,6 +181,9 @@ class BufferPool:
         """
         device = self._require_attached()
         device.write_page(page_id, data)
+        checksums = getattr(device, "checksums", None)
+        if checksums is not None:
+            checksums.record_page(page_id, data)
         self._admit(page_id, self._device_page(device, page_id, data))
 
     write_page = write
@@ -209,15 +242,18 @@ class BufferPool:
                 # per-page copies, so a cached page never pins the
                 # whole transient run buffer.
                 for i in range(stop - page):
-                    self._admit(
-                        page + i, blob[i * page_size : (i + 1) * page_size]
-                    )
+                    chunk = blob[i * page_size : (i + 1) * page_size]
+                    if self.verified_reads:
+                        self._verify(page + i, chunk)
+                    self._admit(page + i, chunk)
                 parts.append(blob)
             else:  # pragma: no cover - devices without the bulk interface
                 for p in range(page, stop):
                     data = bytes(device.read_page(p)).ljust(
                         page_size, b"\x00"
                     )
+                    if self.verified_reads:
+                        self._verify(p, data)
                     self._admit(p, data)
                     parts.append(data)
             page = stop
@@ -233,6 +269,9 @@ class BufferPool:
         view = memoryview(data)
         if bulk is not None:
             bulk(first_page, view, n_pages)
+            checksums = getattr(device, "checksums", None)
+            if checksums is not None:
+                checksums.record_run(first_page, view, n_pages)
             for i in range(n_pages):
                 self._admit(
                     first_page + i,

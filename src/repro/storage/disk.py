@@ -391,6 +391,13 @@ class SimulatedDisk(_PagedDevice):
         zero-copy reads, ``"dict"`` for the per-page copy-level oracle.
     trace:
         Record every classified access in :attr:`trace`.
+    integrity:
+        Attach a :class:`repro.storage.integrity.ChecksumMap` sidecar
+        from page zero.  Consumers (``PagedFile``, ``BufferPool``, the
+        spill ``_ExtentWriter``) record intended payloads into it at
+        write time; ``verified_reads`` and the ``Scrubber`` check
+        against it.  Off by default: with no sidecar every recording
+        hook is a single failed attribute lookup.
     """
 
     def __init__(
@@ -399,6 +406,7 @@ class SimulatedDisk(_PagedDevice):
         cost_model: CostModel | None = None,
         store: str = "arena",
         trace: bool = False,
+        integrity: bool = False,
     ):
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
@@ -412,7 +420,27 @@ class SimulatedDisk(_PagedDevice):
         self._written: set[int] = set()
         self._next_page = 0
         self._shard_session: "ShardedDisk | None" = None
+        self.checksums = None
         self._init_accounting(trace=trace)
+        if integrity:
+            self.enable_integrity()
+
+    def enable_integrity(self):
+        """Attach (or return) the CRC sidecar for this device.
+
+        Enabling on a disk that already holds data *blesses* the
+        current content: every written page's present bytes are
+        recorded as the expectation, exactly like the initial
+        verification pass a real scrubber runs when checksumming is
+        turned on over an existing volume.
+        """
+        if self.checksums is None:
+            from .integrity import ChecksumMap
+
+            self.checksums = ChecksumMap(self.page_size)
+            for page_id in self._written if self.store == "arena" else self._pages:
+                self.checksums.record_page(page_id, self.page_view(page_id))
+        return self.checksums
 
     # ------------------------------------------------------------------
     # Allocation
@@ -635,6 +663,13 @@ class DiskShard(_PagedDevice):
                     parent._arenas.copy_out(first_page, n_pages)
                 )
         self._attached = True
+        # Session-private checksum sidecar: records made through this
+        # shard land here (lookups fall through to the parent chain)
+        # and reconcile into the parent map at detach, exactly like the
+        # pages; an aborted session drops them with the pages.
+        self.checksums = (
+            parent.checksums.child() if parent.checksums is not None else None
+        )
         self._init_accounting(trace=parent._trace is not None)
 
     # ------------------------------------------------------------------
@@ -958,6 +993,8 @@ class ShardedDisk:
                     self.disk._written.update(shard._written)
             else:
                 self.disk._pages.update(shard._pages)
+            if self.disk.checksums is not None and shard.checksums is not None:
+                self.disk.checksums.absorb(shard.checksums)
             merged = merged + shard._stats
             if self.disk._trace is not None and shard._trace:
                 self.disk._trace.extend(shard._trace)

@@ -118,13 +118,20 @@ def _pick(seed: int, kind: int, salt: int, index: int, n: int) -> int:
 
 @dataclass(frozen=True)
 class InjectedFault:
-    """Diagnostic record of one injected fault."""
+    """Diagnostic record of one injected fault.
+
+    ``bit`` is the flipped bit's offset within the written region (bit
+    ``b`` of byte ``bit >> 3``) for ``kind == "flip"`` records, ``-1``
+    otherwise — integrity tests use it to map each flip to the exact
+    physical page it corrupted.
+    """
 
     kind: str
     op: str
     op_index: int
     first_page: int
     n_pages: int
+    bit: int = -1
 
 
 @dataclass(frozen=True)
@@ -205,9 +212,33 @@ class FaultyDevice:
         plan = self.plan
         return plan.max_faults is None or self.faults_injected < plan.max_faults
 
-    def _record(self, kind: str, op: str, index: int, first: int, n: int) -> None:
+    def _record(
+        self, kind: str, op: str, index: int, first: int, n: int, bit: int = -1
+    ) -> None:
         self.faults_injected += 1
-        self.injected.append(InjectedFault(kind, op, index, first, n))
+        self.injected.append(InjectedFault(kind, op, index, first, n, bit))
+
+    # -- flip bookkeeping ------------------------------------------------
+    @property
+    def n_flips_injected(self) -> int:
+        """Bits actually flipped into the medium by this device.
+
+        Counted on the *write* side — one ``"flip"`` record per
+        corrupted write op — so re-reading a flipped page any number of
+        times can neither under- nor over-count, and integrity tests
+        can assert ``detected == injected`` exactly.
+        """
+        return sum(1 for fault in self.injected if fault.kind == "flip")
+
+    @property
+    def flipped_pages(self) -> "set[int]":
+        """Physical page ids that received a flipped bit."""
+        page_size = self.page_size
+        return {
+            fault.first_page + (fault.bit >> 3) // page_size
+            for fault in self.injected
+            if fault.kind == "flip" and fault.bit >= 0
+        }
 
     def _check_read(self, first_page: int, n_pages: int) -> None:
         if self.crashed:
@@ -231,7 +262,9 @@ class FaultyDevice:
             self._record("transient", "r", index, first_page, n_pages)
             raise TransientIOError(f"injected transient error on read op {index}")
 
-    def _check_write(self, first_page: int, n_pages: int) -> "str | None":
+    def _check_write(
+        self, first_page: int, n_pages: int, payload_bits: int = 0
+    ) -> "str | None":
         """Returns ``None`` (clean), ``"torn"`` or ``"flip"``."""
         if self.crashed:
             raise DeviceCrash("device halted; reopen before further I/O")
@@ -253,8 +286,13 @@ class FaultyDevice:
         if plan.torn_on(index):
             self._record("torn", "w", index, first_page, n_pages)
             return "torn"
-        if plan.bitflip_on(index):
-            self._record("flip", "w", index, first_page, n_pages)
+        if plan.bitflip_on(index) and payload_bits > 0:
+            # Record the exact bit (same deterministic draw
+            # _flipped_payload replays), so flip bookkeeping counts
+            # bits actually landed — an empty payload flips nothing
+            # and records nothing.
+            bit = plan.position(_WRITE, index, payload_bits)
+            self._record("flip", "w", index, first_page, n_pages, bit=bit)
             return "flip"
         if plan.transient_on(_WRITE, index):
             self._record("transient", "w", index, first_page, n_pages)
@@ -300,7 +338,7 @@ class FaultyDevice:
 
     def write_page(self, page_id: int, data) -> None:
         index = self.writes_issued
-        mode = self._check_write(page_id, 1)
+        mode = self._check_write(page_id, 1, len(data) * 8)
         if mode == "torn":
             self.inner.write_page(page_id, self._torn_payload(data, page_id, 1, index))
             self.crashed = True
@@ -319,7 +357,7 @@ class FaultyDevice:
         if n_pages <= 0:
             return
         index = self.writes_issued
-        mode = self._check_write(first_page, n_pages)
+        mode = self._check_write(first_page, n_pages, len(data) * 8)
         if mode == "torn":
             torn = self._torn_payload(data, first_page, n_pages, index)
             self.inner.write_run_bytes(first_page, torn, n_pages)
@@ -340,7 +378,7 @@ class FaultyDevice:
 
     def write(self, page_id: int, data) -> None:
         index = self.writes_issued
-        mode = self._check_write(page_id, 1)
+        mode = self._check_write(page_id, 1, len(data) * 8)
         if mode == "torn":
             self.inner.write(page_id, self._torn_payload(data, page_id, 1, index))
             self.crashed = True

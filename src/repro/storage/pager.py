@@ -161,7 +161,17 @@ class PagedFile:
     # I/O
     # ------------------------------------------------------------------
     def write(self, logical: int, data: bytes) -> None:
-        self.disk.write_page(self.physical_page(logical), data)
+        # Integrity sidecar: record the *intended* payload, and only
+        # after the device acks.  Recording above the device is what
+        # catches an in-flight FaultyDevice bit flip (the device would
+        # checksum the already-flipped bytes); recording after the ack
+        # keeps a write that faulted before taking effect from moving
+        # the expectation off the bytes actually in the store.
+        physical = self.physical_page(logical)
+        self.disk.write_page(physical, data)
+        checksums = getattr(self.disk, "checksums", None)
+        if checksums is not None:
+            checksums.record_page(physical, data)
 
     def read(self, logical: int) -> bytes:
         return self.disk.read_page(self.physical_page(logical))
@@ -193,10 +203,13 @@ class PagedFile:
                 self.write(at_page + i, chunk)
             return n_pages
         view = memoryview(data)
+        checksums = getattr(self.disk, "checksums", None)
         at = 0
         for first_physical, run_pages in self._physical_runs(at_page, n_pages):
             take = min(len(data) - at, run_pages * page_size)
             writer(first_physical, view[at : at + take], run_pages)
+            if checksums is not None:
+                checksums.record_run(first_physical, view[at : at + take], run_pages)
             at += take
         return n_pages
 

@@ -18,6 +18,7 @@ from numpy.lib.stride_tricks import as_strided
 
 from .bufferpool import BufferPool
 from .disk import SimulatedDisk
+from .integrity import verify_view
 from .pager import PagedFile
 
 
@@ -72,14 +73,30 @@ class RawSeriesFile:
     Series are packed ``series_per_page`` to a page when a record fits
     in a page, and span ``pages_per_series`` consecutive pages when it
     does not (e.g. very long series on small pages).
+
+    With ``verified_reads=True`` every page this file fetches — direct
+    from the device or through an attached pool — is hashed against the
+    device's :class:`repro.storage.integrity.ChecksumMap` before its
+    bytes are parsed, raising :class:`repro.storage.faults.
+    CorruptionError` with page provenance instead of returning records
+    from a flipped page.  The raw file is the queries' source of truth,
+    so this is the last line of defence between silent media decay and
+    a wrong answer.
     """
 
-    def __init__(self, disk: SimulatedDisk, length: int, name: str = "raw"):
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        length: int,
+        name: str = "raw",
+        verified_reads: bool = False,
+    ):
         if length <= 0:
             raise ValueError(f"series length must be positive, got {length}")
         self.disk = disk
         self.length = length
         self.name = name
+        self.verified_reads = verified_reads
         self.record_bytes = 4 * length
         if self.record_bytes <= disk.page_size:
             self.series_per_page = disk.page_size // self.record_bytes
@@ -131,8 +148,11 @@ class RawSeriesFile:
                 in_page = start % spp
                 # count= bounds the parse to the resident records: the
                 # padded page may not be a float32 multiple in length.
+                # Routed through _read_logical so verified_reads hashes
+                # the page first — a read-modify-write over a corrupt
+                # page would otherwise re-record (bless) the damage.
                 existing = np.frombuffer(
-                    self.file.read(page),
+                    self._read_logical(page),
                     dtype=np.float32,
                     count=in_page * self.length,
                 )
@@ -206,14 +226,39 @@ class RawSeriesFile:
         view.pages_per_series = self.pages_per_series
         view.file = self.file.attach(device)
         view.n_series = self.n_series
+        view.verified_reads = self.verified_reads
         view._pool = None
         return view
+
+    def _verify_run(self, device, first_physical: int, data, n_pages: int):
+        """Hash ``n_pages`` page slices of a padded stream (zero-copy)."""
+        checksums = getattr(device, "checksums", None)
+        page_size = self.disk.page_size
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        source = f"RawSeriesFile({self.name!r})"
+        for i in range(n_pages):
+            verify_view(
+                checksums,
+                first_physical + i,
+                view[i * page_size : (i + 1) * page_size],
+                source,
+            )
+        return data
 
     def _read_logical(self, logical_page: int) -> bytes:
         physical = self.file.physical_page(logical_page)
         if self._pool is not None:
-            return self._pool.read(physical)
-        return self.disk.read_page(physical)
+            device, data = self._pool, self._pool.read(physical)
+        else:
+            device, data = self.disk, self.disk.read_page(physical)
+        if self.verified_reads:
+            verify_view(
+                getattr(device, "checksums", None),
+                physical,
+                data,
+                f"RawSeriesFile({self.name!r})",
+            )
+        return data
 
     def _read_logical_run(self, first_page: int, n_pages: int) -> bytes:
         """Read consecutive logical pages as one page-padded stream.
@@ -231,12 +276,14 @@ class RawSeriesFile:
                 )
                 for i in range(n_pages)
             )
-        parts = [
-            reader(first_physical, run_pages)
-            for first_physical, run_pages in self.file._physical_runs(
-                first_page, n_pages
-            )
-        ]
+        parts = []
+        for first_physical, run_pages in self.file._physical_runs(
+            first_page, n_pages
+        ):
+            part = reader(first_physical, run_pages)
+            if self.verified_reads:
+                self._verify_run(device, first_physical, part, run_pages)
+            parts.append(part)
         return parts[0] if len(parts) == 1 else b"".join(parts)
 
     def _page_of(self, idx: int) -> int:
@@ -497,6 +544,18 @@ class RawSeriesFile:
                     )
                 )
                 yield first, packed.view(np.float32)
+
+    @property
+    def live_pages(self) -> int:
+        """Logical pages holding live records — the scrubber's raw
+        sweep range.  Pages past this (after a recovery truncate) are
+        dead: unreachable by any read, nothing sound to restore them
+        to."""
+        if self.n_series == 0:
+            return 0
+        if self.pages_per_series == 1:
+            return -(-self.n_series // self.series_per_page)
+        return self.n_series * self.pages_per_series
 
     @property
     def size_bytes(self) -> int:

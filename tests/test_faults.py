@@ -173,6 +173,53 @@ def test_bitflip_acks_silently_with_one_bit_inverted():
     assert dev.injected[0].kind == "flip"
 
 
+def test_flip_bookkeeping_counts_writes_not_reads():
+    """``n_flips_injected`` is write-side accounting: reading a flipped
+    page twice must not move it, so tests can assert detected ==
+    injected without read-count skew."""
+    disk = make_disk()
+    first = disk.allocate(2)
+    dev = FaultyDevice(disk, FaultPlan(seed=6, p_bitflip_write=1.0, max_faults=2))
+    dev.write_page(first, b"\x00" * PAGE)
+    dev.write_page(first + 1, b"\x00" * PAGE)
+    assert dev.n_flips_injected == 2
+    for _ in range(3):  # re-reading flipped pages changes nothing
+        dev.read_page(first)
+        dev.read_run_bytes(first, 2)
+    assert dev.n_flips_injected == 2
+    assert dev.faults_injected == 2
+
+
+def test_flip_records_exact_bit_and_page():
+    disk = make_disk()
+    first = disk.allocate(4)
+    dev = FaultyDevice(disk, FaultPlan(seed=13, p_bitflip_write=1.0, max_faults=1))
+    payload = b"\x00" * (3 * PAGE)  # multi-page op: the flip may land anywhere
+    dev.write_run_bytes(first, payload, 3)
+    fault = dev.injected[0]
+    assert fault.kind == "flip" and fault.bit >= 0
+    flipped_page = first + (fault.bit >> 3) // PAGE
+    assert dev.flipped_pages == {flipped_page}
+    # The recorded bit is the bit that actually landed.
+    landed = np.frombuffer(
+        bytes(disk.read_run_bytes(first, 3)), dtype=np.uint8
+    )
+    (byte_at,) = np.nonzero(landed)[0]
+    assert byte_at == fault.bit >> 3
+    assert int(landed[byte_at]) == 1 << (fault.bit & 7)
+
+
+def test_flip_on_empty_payload_records_nothing():
+    disk = make_disk()
+    first = disk.allocate(1)
+    disk.write_page(first, b"keep")
+    dev = FaultyDevice(disk, FaultPlan(seed=6, p_bitflip_write=1.0, max_faults=1))
+    dev.write_page(first, b"")  # zero payload bits: nothing can flip
+    assert dev.n_flips_injected == 0
+    assert dev.flipped_pages == set()
+    assert bytes(disk.page_view(first))[:4] == b"\x00\x00\x00\x00"
+
+
 def test_crash_halts_before_any_effect():
     disk = make_disk()
     first = disk.allocate(1)

@@ -209,6 +209,92 @@ def test_chaos_schedule_preserves_acks_and_answers(seed):
 
 
 # ----------------------------------------------------------------------
+# Silent bit flips: the integrity plane keeps every answer exact
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+def test_chaos_with_bitflips_never_serves_corrupt(seed):
+    """Seeded schedules fire *silent* write flips on every page store
+    the service touches — raw rides the faulty device here, so flips
+    land on the source of truth itself.  With verified reads + the
+    background scrubber armed, every served answer must still match
+    the fault-free oracle: corrupt pages raise and heal (counted in
+    the scrub stats), they are never served.
+    """
+    rng = np.random.default_rng(seed)
+    disk = SimulatedDisk(page_size=PAGE, store="arena")
+    dev = FaultyDevice(disk, None)
+    raw = RawSeriesFile(dev, LENGTH)  # raw appends go through the flips
+    raw.append_batch(BASE)
+    svc = CoconutService(
+        disk,
+        raw,
+        MEM,
+        sax_config=CONFIG,
+        config=ServiceConfig(
+            query_workers=1,
+            verified_reads=True,
+            scrub_every_batches=2,
+            scrub_pages_per_step=64,
+        ),
+        device=dev,
+    )
+    svc.bootstrap()
+    dev.plan = FaultPlan(seed=seed, p_bitflip_write=0.04, max_faults=6)
+    tickets: "list[tuple[np.ndarray, object]]" = []
+    acked: "list[tuple[int, int]]" = []
+    next_batch = 0
+    for _ in range(60):
+        op = rng.random()
+        if op < 0.40 and next_batch < N_BATCHES:
+            lo = next_batch * BATCH_ROWS
+            try:
+                receipt = svc.ingest(
+                    STREAM[lo : lo + BATCH_ROWS],
+                    expected_first=len(BASE) + lo,
+                )
+            except ServiceUnavailable:
+                continue
+            acked.append((receipt.first_index, receipt.n_rows))
+            next_batch += 1
+        elif op < 0.80:
+            q = QUERIES[rng.integers(len(QUERIES))]
+            mode = "exact" if rng.random() < 0.7 else "approximate"
+            k = 3 if mode == "exact" else 1
+            tickets.append((q, svc.submit(q, mode=mode, k=k)))
+        elif op < 0.92:
+            svc.serve_pending()
+        elif svc.state == "crashed":
+            # A flip on a WAL page failed the read-back ack barrier and
+            # latched the crash; recovery scrub-heals the raw file.
+            try:
+                svc.restart()
+            except FaultError:
+                pass
+    # Quiesce: flips off, recover if needed, repair everything, drain.
+    dev.plan = None
+    dev.reopen()
+    if svc.state == "crashed":
+        svc.restart()
+    svc.scrub_now()
+    svc.serve_pending()
+    verify_conservation(svc, tickets)
+    verify_durability(svc, acked)
+    # The headline property: nothing served was ever corrupt.
+    for q, ticket in tickets:
+        if ticket.status == "served":
+            verify_ticket(q, ticket)
+    stats = svc.stats_snapshot()
+    scrub = stats["scrub"]
+    assert scrub["sweeps"] >= 1
+    assert scrub["unrepairable_pages"] == 0  # single-bit flips all heal
+    assert scrub["last_sweep_watermark"] == svc.raw.n_series
+    assert svc._scrubber.unrepairable == set()
+    # Post-storm the service is fully healthy: a verified final answer.
+    final = svc.query(QUERIES[0], mode="exact", k=3)
+    verify_ticket(QUERIES[0], final)
+
+
+# ----------------------------------------------------------------------
 # Threaded: server loop + concurrent feeder
 # ----------------------------------------------------------------------
 def test_threaded_ingest_and_serving_stay_exact():
